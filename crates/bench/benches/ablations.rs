@@ -1,0 +1,112 @@
+//! Ablation benches for the design choices DESIGN.md calls out: each
+//! group runs the experiment with a modeling mechanism switched off (or a
+//! sweep step applied) so the cost and the effect of the mechanism can be
+//! compared. `cargo bench -p bb-bench --bench ablations`.
+//!
+//! The *quality* deltas of these ablations are printed by
+//! `repro xablate`; here we pin down their runtime cost.
+
+use bb_core::ext::{grooming, peering_reduction, site_count};
+use bb_core::study_egress;
+use bb_core::{Scale, Scenario, ScenarioConfig};
+use bb_measure::SprayConfig;
+use bb_netsim::CongestionConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn quick_spray() -> SprayConfig {
+    SprayConfig {
+        days: 0.5,
+        window_stride: 8,
+        sessions_per_window: 5,
+        ..Default::default()
+    }
+}
+
+/// Ablation 1 (correlated congestion): destination-side congestion keys
+/// off — every route degrades independently, the pre-2010 literature's
+/// implicit assumption.
+fn bench_ablation_correlation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_correlation");
+    g.sample_size(10);
+    for (label, metro, lastmile) in [("correlated", 0.10, 0.35), ("independent", 0.0, 0.0)] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let mut cfg = ScenarioConfig::facebook(11, Scale::Test);
+                cfg.congestion = CongestionConfig {
+                    metro_events_per_day: metro,
+                    lastmile_events_per_day: lastmile,
+                    // Shift the event mass onto links when destination keys
+                    // are off, keeping total churn comparable.
+                    link_events_per_day: if metro == 0.0 { 0.7 } else { 0.25 },
+                    ..Default::default()
+                };
+                let scenario = Scenario::build(cfg);
+                let study = study_egress::run(&scenario, &quick_spray());
+                black_box(study.fig1.frac_improvable_5ms)
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Ablation 2 (exit policy fidelity): perfectly geographic exits vs the
+/// default sloppy ones.
+fn bench_ablation_exit_policy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_exit_policy");
+    g.sample_size(10);
+    for (label, factor) in [("sloppy_default", 0.72), ("perfect_geo", 1.0)] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let mut cfg = ScenarioConfig::microsoft(12, Scale::Test);
+                cfg.exit_fidelity_factor = factor;
+                let scenario = Scenario::build(cfg);
+                let steps = site_count::run(&scenario, &[8]);
+                black_box(steps[0].misdirected)
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Ablation 3 (peering breadth): one step of the §3.1.3 sweep.
+fn bench_ablation_peering(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_peering");
+    g.sample_size(10);
+    let base = ScenarioConfig::facebook(13, Scale::Test);
+    for (label, th) in [("wide_pni", 0.1), ("no_pni", 1.1)] {
+        let base = base.clone();
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let steps = peering_reduction::run(&base, &[th]);
+                black_box(steps[0].median_rtt_ms)
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Ablation 4 (grooming effort): the operator loop at increasing budgets.
+fn bench_ablation_grooming(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_grooming");
+    g.sample_size(10);
+    let scenario = Scenario::build(ScenarioConfig::microsoft(14, Scale::Test));
+    for iters in [0usize, 4, 12] {
+        g.bench_function(format!("iterations_{iters}"), |b| {
+            b.iter(|| {
+                let steps = grooming::run(&scenario, 42, iters);
+                black_box(steps.last().unwrap().p90_penalty_ms)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    ablations,
+    bench_ablation_correlation,
+    bench_ablation_exit_policy,
+    bench_ablation_peering,
+    bench_ablation_grooming
+);
+criterion_main!(ablations);

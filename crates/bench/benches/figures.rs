@@ -1,0 +1,148 @@
+//! One benchmark group per paper figure: measures the cost of regenerating
+//! each figure end-to-end (world build + measurement campaign + analysis)
+//! at test scale. `cargo bench -p bb-bench --bench figures`.
+//!
+//! These are the benches DESIGN.md's per-experiment index points at:
+//! FIG1/FIG2 (`fig1_egress`, `fig2_route_class`), FIG3 (`fig3_anycast`),
+//! FIG4 (`fig4_dns`), FIG5 (`fig5_tiers`), S23x (`calibration`).
+
+use bb_core::{calibration, study_anycast, study_egress, study_tiers};
+use bb_core::{Scale, Scenario, ScenarioConfig};
+use bb_measure::{spray, BeaconConfig, ProbeConfig, SprayConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn quick_spray_cfg() -> SprayConfig {
+    SprayConfig {
+        days: 0.5,
+        window_stride: 8,
+        sessions_per_window: 5,
+        ..Default::default()
+    }
+}
+
+fn bench_fig1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1_egress");
+    g.sample_size(10);
+    // End-to-end: world + campaign + analysis.
+    g.bench_function("end_to_end", |b| {
+        b.iter(|| {
+            let scenario = Scenario::build(ScenarioConfig::facebook(1, Scale::Test));
+            let study = study_egress::run(&scenario, &quick_spray_cfg());
+            black_box(study.fig1.frac_improvable_5ms)
+        })
+    });
+    // Analysis only, on a pre-collected dataset.
+    let scenario = Scenario::build(ScenarioConfig::facebook(1, Scale::Test));
+    let dataset = spray(
+        &scenario.topo,
+        &scenario.provider,
+        &scenario.workload,
+        &scenario.congestion,
+        &quick_spray_cfg(),
+    );
+    g.bench_function("analysis_only", |b| {
+        b.iter(|| {
+            let study = study_egress::analyze(&scenario, &quick_spray_cfg(), dataset.clone());
+            black_box(study.fig1.groups)
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    // Fig 2 shares the Fig 1 dataset; its marginal cost is the class
+    // comparison inside `analyze`, benchmarked via the spray campaign.
+    let scenario = Scenario::build(ScenarioConfig::facebook(2, Scale::Test));
+    let mut g = c.benchmark_group("fig2_route_class");
+    g.sample_size(10);
+    g.bench_function("campaign", |b| {
+        b.iter(|| {
+            let ds = spray(
+                &scenario.topo,
+                &scenario.provider,
+                &scenario.workload,
+                &scenario.congestion,
+                &quick_spray_cfg(),
+            );
+            black_box(ds.rows.len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig3_fig4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_anycast");
+    g.sample_size(10);
+    g.bench_function("end_to_end", |b| {
+        b.iter(|| {
+            let scenario = Scenario::build(ScenarioConfig::microsoft(3, Scale::Test));
+            let study = study_anycast::run(
+                &scenario,
+                &BeaconConfig {
+                    rounds: 4,
+                    ..Default::default()
+                },
+            );
+            black_box(study.fig3.frac_within_10ms)
+        })
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("fig4_dns");
+    g.sample_size(10);
+    let scenario = Scenario::build(ScenarioConfig::microsoft(3, Scale::Test));
+    let study = study_anycast::run(
+        &scenario,
+        &BeaconConfig {
+            rounds: 4,
+            ..Default::default()
+        },
+    );
+    g.bench_function("train_and_test", |b| {
+        b.iter(|| {
+            let s = study_anycast::analyze(&scenario, study.measurements.clone());
+            black_box(s.fig4.frac_improved)
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_tiers");
+    g.sample_size(10);
+    g.bench_function("end_to_end", |b| {
+        b.iter(|| {
+            let scenario = Scenario::build(ScenarioConfig::google(4, Scale::Test));
+            let study = study_tiers::run(
+                &scenario,
+                &ProbeConfig {
+                    rounds: 3,
+                    ..Default::default()
+                },
+            );
+            black_box(study.fig5.qualifying_vps)
+        })
+    });
+    g.finish();
+}
+
+fn bench_calibration(c: &mut Criterion) {
+    let scenario = Scenario::build(ScenarioConfig::facebook(5, Scale::Test));
+    let mut g = c.benchmark_group("calibration");
+    g.sample_size(10);
+    g.bench_function("s23x", |b| {
+        b.iter(|| black_box(calibration::run(&scenario).traffic_within_500km))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_fig1,
+    bench_fig2,
+    bench_fig3_fig4,
+    bench_fig5,
+    bench_calibration
+);
+criterion_main!(figures);

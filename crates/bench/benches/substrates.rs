@@ -1,0 +1,139 @@
+//! Micro-benchmarks of the substrate crates: topology generation, BGP
+//! propagation, RIB construction, path realization, RTT evaluation,
+//! congestion queries, and the statistics kernels.
+//! `cargo bench -p bb-bench --bench substrates`.
+
+use bb_bgp::{compute_routes, provider_rib, Announcement};
+use bb_cdn::{build_provider, ProviderConfig};
+use bb_netsim::{
+    path_rtt_ms, realize_path, CongestionConfig, CongestionKey, CongestionModel, RealizeSpec,
+    SimTime,
+};
+use bb_stats::{bootstrap_median_ci, weighted_quantile, Cdf};
+use bb_topology::{generate, AsClass, TopologyConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_topology(c: &mut Criterion) {
+    let mut g = c.benchmark_group("topology");
+    g.bench_function("generate_small", |b| {
+        b.iter(|| black_box(generate(&TopologyConfig::small(1)).as_count()))
+    });
+    g.sample_size(20);
+    g.bench_function("generate_full", |b| {
+        b.iter(|| {
+            black_box(
+                generate(&TopologyConfig {
+                    seed: 1,
+                    ..Default::default()
+                })
+                .as_count(),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_bgp(c: &mut Criterion) {
+    let topo = generate(&TopologyConfig {
+        seed: 2,
+        ..Default::default()
+    });
+    let origin = topo.ases_of_class(AsClass::Eyeball).next().unwrap().id;
+    let ann = Announcement::full(&topo, origin);
+
+    let mut g = c.benchmark_group("bgp");
+    g.bench_function("propagate_full_world", |b| {
+        b.iter(|| black_box(compute_routes(&topo, &ann).reachable_count()))
+    });
+
+    let mut topo2 = generate(&TopologyConfig {
+        seed: 2,
+        ..Default::default()
+    });
+    let provider = build_provider(&mut topo2, &ProviderConfig::facebook_like(2));
+    let origin2 = topo2.ases_of_class(AsClass::Eyeball).next().unwrap().id;
+    let table = compute_routes(&topo2, &Announcement::full(&topo2, origin2));
+    g.bench_function("provider_rib", |b| {
+        b.iter(|| black_box(provider_rib(&topo2, provider.asn, &table).len()))
+    });
+    g.finish();
+}
+
+fn bench_netsim(c: &mut Criterion) {
+    let topo = generate(&TopologyConfig {
+        seed: 3,
+        ..Default::default()
+    });
+    let eye = topo.ases_of_class(AsClass::Eyeball).next().unwrap();
+    let origin = eye.id;
+    let dst_city = eye.footprint[0];
+    let table = compute_routes(&topo, &Announcement::full(&topo, origin));
+    let src = topo
+        .ases()
+        .iter()
+        .find(|a| table.as_path(a.id).is_some_and(|p| p.len() >= 4))
+        .unwrap();
+    let path = table.as_path(src.id).unwrap();
+    let spec = RealizeSpec {
+        as_path: &path,
+        src_city: src.footprint[0],
+        dst_city: Some(dst_city),
+        first_link: None,
+        final_entry_links: None,
+    };
+    let realized = realize_path(&topo, &spec);
+    let model = CongestionModel::new(3, CongestionConfig::default());
+
+    let mut g = c.benchmark_group("netsim");
+    g.bench_function("realize_4hop_path", |b| {
+        b.iter(|| black_box(realize_path(&topo, &spec).hop_count()))
+    });
+    g.bench_function("path_rtt_cold_key", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(path_rtt_ms(
+                &topo,
+                &model,
+                &realized,
+                Some(CongestionKey::LastMile(i)),
+                SimTime::from_hours(12.0),
+            ))
+        })
+    });
+    g.bench_function("path_rtt_warm_key", |b| {
+        b.iter(|| {
+            black_box(path_rtt_ms(
+                &topo,
+                &model,
+                &realized,
+                Some(CongestionKey::LastMile(1)),
+                SimTime::from_hours(12.0),
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn bench_stats(c: &mut Criterion) {
+    let data: Vec<(f64, f64)> = (0..10_000)
+        .map(|i| (((i * 2654435761u64 as usize) % 100_000) as f64, 1.0 + (i % 7) as f64))
+        .collect();
+    let values: Vec<f64> = data.iter().map(|&(v, _)| v).take(240).collect();
+
+    let mut g = c.benchmark_group("stats");
+    g.bench_function("weighted_quantile_10k", |b| {
+        b.iter(|| black_box(weighted_quantile(&data, 0.5)))
+    });
+    g.bench_function("cdf_build_10k", |b| {
+        b.iter(|| black_box(Cdf::from_weighted(&data).unwrap().len()))
+    });
+    g.bench_function("bootstrap_ci_240x120", |b| {
+        b.iter(|| black_box(bootstrap_median_ci(&values, 0.95, 120, 7)))
+    });
+    g.finish();
+}
+
+criterion_group!(substrates, bench_topology, bench_bgp, bench_netsim, bench_stats);
+criterion_main!(substrates);

@@ -1,0 +1,2 @@
+//! Benchmark-only crate. The Criterion benchmark targets live in
+//! `benches/`; this library is intentionally empty.

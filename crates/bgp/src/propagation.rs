@@ -1,0 +1,539 @@
+//! Gao-Rexford route propagation.
+//!
+//! Computes, for one origin announcement, the best route every AS in the
+//! topology holds toward the origin. Propagation happens in the classic
+//! three phases (customer routes bubble up, customer routes cross one peer
+//! edge, then everything flows down to customers), each phase running a
+//! Dijkstra-style relaxation on AS-path length so prepending is honored.
+//!
+//! The result is valley-free by construction: an AS-level traffic path
+//! climbs customer→provider edges, crosses at most one peer edge, and then
+//! descends provider→customer edges. `valley_free` checks that property and
+//! the test-suite applies it to every path.
+
+use crate::announcement::{Announcement, Scope};
+use crate::decision::RouteClass;
+use crate::route::BestRoute;
+use bb_topology::{AsId, BusinessRel, Topology};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Best route per AS toward one origin announcement.
+#[derive(Debug, Clone)]
+pub struct RoutingTable {
+    pub origin: AsId,
+    best: Vec<Option<BestRoute>>,
+}
+
+impl RoutingTable {
+    /// Best route at `asn`, if it has one.
+    pub fn route(&self, asn: AsId) -> Option<&BestRoute> {
+        self.best[asn.index()].as_ref()
+    }
+
+    /// The AS-level path from `asn` to the origin, inclusive on both ends
+    /// (ignoring prepending repetitions).
+    pub fn as_path(&self, asn: AsId) -> Option<Vec<AsId>> {
+        self.route(asn)?;
+        let mut path = vec![asn];
+        let mut cur = asn;
+        while let Some(route) = self.route(cur) {
+            match route.via {
+                None => return Some(path),
+                Some(next) => {
+                    assert!(
+                        path.len() <= self.best.len(),
+                        "via-chain cycle at {cur}"
+                    );
+                    path.push(next);
+                    cur = next;
+                }
+            }
+        }
+        None
+    }
+
+    /// Number of ASes holding a route.
+    pub fn reachable_count(&self) -> usize {
+        self.best.iter().filter(|r| r.is_some()).count()
+    }
+
+    /// Iterate over (AsId, BestRoute).
+    pub fn routes(&self) -> impl Iterator<Item = (AsId, &BestRoute)> {
+        self.best
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.as_ref().map(|r| (AsId(i as u32), r)))
+    }
+}
+
+/// Compute routes for `announcement` over `topo`.
+///
+/// ```
+/// use bb_bgp::{compute_routes, Announcement};
+/// use bb_topology::{generate, AsClass, TopologyConfig};
+///
+/// let topo = generate(&TopologyConfig::small(1));
+/// let origin = topo.ases_of_class(AsClass::Eyeball).next().unwrap().id;
+/// let table = compute_routes(&topo, &Announcement::full(&topo, origin));
+/// // A fully-announced prefix reaches the whole Internet…
+/// assert_eq!(table.reachable_count(), topo.as_count());
+/// // …and every AS's path ends at the origin.
+/// let some_as = topo.ases()[0].id;
+/// assert_eq!(*table.as_path(some_as).unwrap().last().unwrap(), origin);
+/// ```
+pub fn compute_routes(topo: &Topology, announcement: &Announcement) -> RoutingTable {
+    let n = topo.as_count();
+    let origin = announcement.origin;
+    let mut best: Vec<Option<BestRoute>> = vec![None; n];
+    best[origin.index()] = Some(BestRoute::origin());
+
+    // --- Seed first hops from the announcement. ---
+    // The class at a first-hop neighbor is determined by how it relates to
+    // the origin: the origin's providers hear a customer route, etc.
+    let mut customer_seeds = Vec::new();
+    let mut peer_seeds = Vec::new();
+    let mut provider_seeds = Vec::new();
+    for offer in announcement.offers_by_neighbor(topo) {
+        let nb = offer.neighbor;
+        let rel_origin_to_nb = topo
+            .relationship(origin, nb)
+            .expect("offered link implies relationship");
+        let class = RouteClass::from_neighbor_rel(rel_origin_to_nb);
+        let route = BestRoute {
+            class,
+            path_len: 1 + offer.prepend,
+            via: Some(origin),
+            entry_links: offer.entry_links,
+            no_export: offer.scope == Scope::NoExport,
+        };
+        match class {
+            RouteClass::Customer => customer_seeds.push((nb, route)),
+            RouteClass::Peer => peer_seeds.push((nb, route)),
+            RouteClass::Provider => provider_seeds.push((nb, route)),
+        }
+    }
+
+    // --- Phase 1: customer routes climb provider edges. ---
+    relax_phase(
+        topo,
+        &mut best,
+        customer_seeds,
+        RouteClass::Customer,
+        |topo, asn| topo.providers_of(asn),
+    );
+
+    // --- Phase 2: customer routes cross one peer edge. ---
+    // Candidates: every AS holding a customer route (incl. the origin via
+    // the announcement seeds above, which already carry entry links)
+    // exports to its peers. Peer routes do not propagate further among
+    // peers, so this is a single relaxation round, not a search.
+    let mut peer_candidates: Vec<(AsId, BestRoute)> = peer_seeds;
+    #[allow(clippy::needless_range_loop)]
+    for i in 0..n {
+        let asn = AsId(i as u32);
+        let Some(route) = best[i].clone() else { continue };
+        if route.class != RouteClass::Customer || route.is_origin() || route.no_export {
+            continue; // origin's exports are governed by the announcement;
+                      // NO_EXPORT routes stop here
+        }
+        for peer in topo.peers_of(asn) {
+            peer_candidates.push((
+                peer,
+                BestRoute {
+                    class: RouteClass::Peer,
+                    path_len: route.path_len + 1,
+                    via: Some(asn),
+                    entry_links: Vec::new(),
+                    no_export: false,
+                },
+            ));
+        }
+    }
+    for (asn, cand) in peer_candidates {
+        consider(&mut best, asn, cand);
+    }
+
+    // --- Phase 3: everything descends customer edges. ---
+    // Every routed AS exports to its customers; provider routes cascade.
+    let mut provider_cands: Vec<(AsId, BestRoute)> = provider_seeds;
+    #[allow(clippy::needless_range_loop)]
+    for i in 0..n {
+        let asn = AsId(i as u32);
+        let Some(route) = best[i].clone() else { continue };
+        if route.is_origin() || route.no_export {
+            continue;
+        }
+        for cust in topo.customers_of(asn) {
+            provider_cands.push((
+                cust,
+                BestRoute {
+                    class: RouteClass::Provider,
+                    path_len: route.path_len + 1,
+                    via: Some(asn),
+                    entry_links: Vec::new(),
+                    no_export: false,
+                },
+            ));
+        }
+    }
+    relax_phase(
+        topo,
+        &mut best,
+        provider_cands,
+        RouteClass::Provider,
+        |topo, asn| topo.customers_of(asn),
+    );
+
+    RoutingTable { origin, best }
+}
+
+/// Install `cand` at `asn` if it beats the incumbent under the decision
+/// process (with the per-AS hashed tie-break). Returns whether it was
+/// installed.
+fn consider(best: &mut [Option<BestRoute>], asn: AsId, cand: BestRoute) -> bool {
+    match &best[asn.index()] {
+        None => {
+            best[asn.index()] = Some(cand);
+            true
+        }
+        Some(inc) => {
+            let inc_key = (inc.class, inc.path_len, inc.via.unwrap_or(AsId(u32::MAX)));
+            let cand_key = (cand.class, cand.path_len, cand.via.unwrap_or(AsId(u32::MAX)));
+            if crate::decision::better_at(asn, cand_key, inc_key) {
+                best[asn.index()] = Some(cand);
+                true
+            } else {
+                false
+            }
+        }
+    }
+}
+
+/// Dijkstra-style relaxation of one phase: starting from `seeds`, routes of
+/// `class` spread along the edges produced by `next_hops` (applied to the
+/// AS currently holding the route).
+fn relax_phase(
+    topo: &Topology,
+    best: &mut [Option<BestRoute>],
+    seeds: Vec<(AsId, BestRoute)>,
+    class: RouteClass,
+    next_hops: impl Fn(&Topology, AsId) -> Vec<AsId>,
+) {
+    let mut heap: BinaryHeap<Reverse<(u32, u32, u32)>> = BinaryHeap::new();
+    for (asn, route) in seeds {
+        let key = (route.path_len, route.via.map_or(u32::MAX, |v| v.0), asn.0);
+        if consider(best, asn, route) {
+            heap.push(Reverse(key));
+        }
+    }
+    while let Some(Reverse((len, via, asn))) = heap.pop() {
+        let asn = AsId(asn);
+        // Skip stale heap entries, and never expand NO_EXPORT routes.
+        let Some(cur) = &best[asn.index()] else { continue };
+        if cur.class != class || cur.path_len != len || cur.via.map_or(u32::MAX, |v| v.0) != via {
+            continue;
+        }
+        if cur.no_export {
+            continue;
+        }
+        for nxt in next_hops(topo, asn) {
+            let cand = BestRoute {
+                class,
+                path_len: len + 1,
+                via: Some(asn),
+                entry_links: Vec::new(),
+                no_export: false,
+            };
+            let key = (cand.path_len, asn.0, nxt.0);
+            if consider(best, nxt, cand) {
+                heap.push(Reverse(key));
+            }
+        }
+    }
+}
+
+/// Check the valley-free property of a traffic path `p = [src, ..., origin]`:
+/// the sequence of relationships must match `up* peer? down*`, where "up"
+/// means the current AS is a customer of the next and "down" means it is a
+/// provider of the next.
+pub fn valley_free(topo: &Topology, path: &[AsId]) -> bool {
+    #[derive(PartialEq, PartialOrd)]
+    enum Stage {
+        Up,
+        Peer,
+        Down,
+    }
+    let mut stage = Stage::Up;
+    for w in path.windows(2) {
+        let rel = match topo.relationship(w[0], w[1]) {
+            Some(r) => r,
+            None => return false,
+        };
+        match rel {
+            BusinessRel::CustomerOf => {
+                if stage != Stage::Up {
+                    return false;
+                }
+            }
+            BusinessRel::Peer => {
+                if stage != Stage::Up {
+                    return false;
+                }
+                stage = Stage::Peer;
+            }
+            BusinessRel::ProviderOf => {
+                stage = Stage::Down;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bb_topology::{generate, AsClass, TopologyConfig};
+
+    fn topo() -> Topology {
+        generate(&TopologyConfig::small(21))
+    }
+
+    fn eyeball(topo: &Topology) -> AsId {
+        topo.ases_of_class(AsClass::Eyeball).next().unwrap().id
+    }
+
+    #[test]
+    fn full_announcement_reaches_everyone() {
+        let t = topo();
+        let o = eyeball(&t);
+        let table = compute_routes(&t, &Announcement::full(&t, o));
+        assert_eq!(table.reachable_count(), t.as_count());
+    }
+
+    #[test]
+    fn all_paths_valley_free() {
+        let t = topo();
+        for origin in t.ases_of_class(AsClass::Eyeball).take(10) {
+            let table = compute_routes(&t, &Announcement::full(&t, origin.id));
+            for node in t.ases() {
+                let path = table.as_path(node.id).expect("reachable");
+                assert!(
+                    valley_free(&t, &path),
+                    "path {:?} from {} to {} not valley-free",
+                    path,
+                    node.name,
+                    origin.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn origin_route_is_trivial() {
+        let t = topo();
+        let o = eyeball(&t);
+        let table = compute_routes(&t, &Announcement::full(&t, o));
+        let r = table.route(o).unwrap();
+        assert!(r.is_origin());
+        assert_eq!(table.as_path(o).unwrap(), vec![o]);
+    }
+
+    #[test]
+    fn paths_end_at_origin_and_start_at_source() {
+        let t = topo();
+        let o = eyeball(&t);
+        let table = compute_routes(&t, &Announcement::full(&t, o));
+        for node in t.ases().iter().take(30) {
+            let path = table.as_path(node.id).unwrap();
+            assert_eq!(path[0], node.id);
+            assert_eq!(*path.last().unwrap(), o);
+        }
+    }
+
+    #[test]
+    fn direct_neighbors_have_entry_links() {
+        let t = topo();
+        let o = eyeball(&t);
+        let table = compute_routes(&t, &Announcement::full(&t, o));
+        for nb in t.neighbors(o) {
+            let r = table.route(nb).unwrap();
+            assert_eq!(r.via, Some(o));
+            assert!(!r.entry_links.is_empty(), "{nb} should record entry links");
+        }
+    }
+
+    #[test]
+    fn customer_route_preferred_over_shorter_peer_route() {
+        // Build by hand: origin O customer of T; T customer of P; P peers
+        // with O directly. P must pick the longer customer route via T.
+        use bb_geo::atlas::AtlasConfig;
+        use bb_geo::Atlas;
+        use bb_topology::{AsClass, BusinessRel, ExitPolicy, LinkKind, Topology};
+        let atlas = Atlas::generate(&AtlasConfig {
+            seed: 2,
+            city_density: 0.3,
+        });
+        let c0 = atlas.cities[0].id;
+        let mut t = Topology::new(atlas);
+        let p = t.add_as(AsClass::Tier1, "P", vec![c0], ExitPolicy::EarlyExit, 1.1, None, 0.0);
+        let tr = t.add_as(AsClass::Transit, "T", vec![c0], ExitPolicy::EarlyExit, 1.2, None, 0.0);
+        let o = t.add_as(AsClass::Eyeball, "O", vec![c0], ExitPolicy::EarlyExit, 1.4, Some(0), 1.0);
+        t.add_interconnect(o, tr, BusinessRel::CustomerOf, LinkKind::Transit, c0, 10.0);
+        t.add_interconnect(tr, p, BusinessRel::CustomerOf, LinkKind::Transit, c0, 10.0);
+        t.add_interconnect(o, p, BusinessRel::Peer, LinkKind::PublicPeering, c0, 10.0);
+
+        let table = compute_routes(&t, &Announcement::full(&t, o));
+        let r = table.route(p).unwrap();
+        assert_eq!(r.class, RouteClass::Customer);
+        assert_eq!(r.path_len, 2);
+        assert_eq!(r.via, Some(tr));
+    }
+
+    #[test]
+    fn withholding_shrinks_reachability_or_lengthens_paths() {
+        let t = topo();
+        let o = eyeball(&t);
+        let full = compute_routes(&t, &Announcement::full(&t, o));
+
+        // Withhold all but one neighbor: paths can only get worse.
+        let mut ann = Announcement::full(&t, o);
+        let keep = t.adjacency(o)[0].1;
+        for &(_, l) in &t.adjacency(o)[1..] {
+            if l != keep {
+                ann.withhold_link(l);
+            }
+        }
+        let partial = compute_routes(&t, &ann);
+        assert!(partial.reachable_count() <= full.reachable_count());
+        for (asn, r) in partial.routes() {
+            let fr = full.route(asn).unwrap();
+            assert!(
+                r.path_len >= fr.path_len || r.class >= fr.class,
+                "withholding must not improve routes at {asn}"
+            );
+        }
+    }
+
+    #[test]
+    fn prepending_diverts_route_choice() {
+        // Find an AS with ≥2 neighbors; prepend heavily toward the one its
+        // providers prefer and check some AS changes its via.
+        let t = topo();
+        let o = eyeball(&t);
+        let full = compute_routes(&t, &Announcement::full(&t, o));
+
+        let mut ann = Announcement::full(&t, o);
+        // Heavily prepend toward the first neighbor.
+        let nb0 = t.adjacency(o)[0].0;
+        for &(nb, l) in t.adjacency(o) {
+            if nb == nb0 {
+                ann.prepend_link(l, 10);
+            }
+        }
+        let groomed = compute_routes(&t, &ann);
+        let r_full = full.route(nb0).unwrap();
+        let r_groomed = groomed.route(nb0).unwrap();
+        // The neighbor still has a route (maybe via another AS now), but the
+        // direct offer got longer.
+        assert!(r_groomed.path_len >= r_full.path_len);
+    }
+
+    #[test]
+    fn deterministic() {
+        let t = topo();
+        let o = eyeball(&t);
+        let a = compute_routes(&t, &Announcement::full(&t, o));
+        let b = compute_routes(&t, &Announcement::full(&t, o));
+        for node in t.ases() {
+            assert_eq!(a.route(node.id), b.route(node.id));
+        }
+    }
+
+    #[test]
+    fn valley_free_rejects_bad_paths() {
+        let t = topo();
+        // A fabricated path that goes down then up must be rejected if the
+        // relationships exist that way; use origin's provider chain.
+        let o = eyeball(&t);
+        let prov = t.providers_of(o)[0];
+        // down (prov -> o is ProviderOf) then up (o -> prov is CustomerOf):
+        let path = vec![prov, o, prov];
+        assert!(!valley_free(&t, &path));
+    }
+}
+
+#[cfg(test)]
+mod no_export_tests {
+    use super::*;
+    use crate::announcement::Scope;
+    use bb_topology::{generate, AsClass, TopologyConfig};
+
+    #[test]
+    fn no_export_stops_one_as_away() {
+        let t = generate(&TopologyConfig::small(33));
+        let o = t.ases_of_class(AsClass::Eyeball).next().unwrap().id;
+        let mut ann = Announcement::empty(o);
+        for &(_, l) in t.adjacency(o) {
+            ann.offer_scoped(l, 0, Scope::NoExport);
+        }
+        let table = compute_routes(&t, &ann);
+        // Exactly the origin plus its direct neighbors have routes.
+        let expected = 1 + t.neighbors(o).len();
+        assert_eq!(table.reachable_count(), expected);
+        for (asn, r) in table.routes() {
+            if asn != o {
+                assert_eq!(r.via, Some(o), "{asn} must hold only the direct route");
+                assert!(r.no_export);
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_scope_keeps_global_reachability() {
+        let t = generate(&TopologyConfig::small(33));
+        let o = t.ases_of_class(AsClass::Eyeball).next().unwrap().id;
+        let mut ann = Announcement::full(&t, o);
+        // Tag half the links NO_EXPORT; the rest stay global.
+        for (i, &(_, l)) in t.adjacency(o).iter().enumerate() {
+            if i % 2 == 0 {
+                ann.offer_scoped(l, 0, Scope::NoExport);
+            }
+        }
+        let table = compute_routes(&t, &ann);
+        assert_eq!(table.reachable_count(), t.as_count());
+    }
+
+    #[test]
+    fn no_export_neighbor_can_still_route_via_others() {
+        // A neighbor that hears only a NO_EXPORT copy still uses it (it's
+        // the shortest), but the rest of the world routes around it.
+        let t = generate(&TopologyConfig::small(35));
+        let o = t.ases_of_class(AsClass::Eyeball).next().unwrap().id;
+        let neighbors = t.neighbors(o);
+        if neighbors.len() < 2 {
+            return;
+        }
+        let scoped = neighbors[0];
+        let mut ann = Announcement::full(&t, o);
+        for &(nb, l) in t.adjacency(o) {
+            if nb == scoped {
+                ann.offer_scoped(l, 0, Scope::NoExport);
+            }
+        }
+        let table = compute_routes(&t, &ann);
+        assert_eq!(table.reachable_count(), t.as_count());
+        let r = table.route(scoped).unwrap();
+        assert_eq!(r.via, Some(o));
+        assert!(r.no_export);
+        // No other AS routes *through* the scoped neighbor's direct route.
+        for (asn, route) in table.routes() {
+            if route.via == Some(scoped) {
+                // Such a route must have come from a non-direct path the
+                // scoped AS would export — impossible here since its best
+                // is the NO_EXPORT direct route.
+                panic!("{asn} routes via the NO_EXPORT holder");
+            }
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Route records stored per AS by propagation.
+
+use crate::decision::RouteClass;
+use bb_topology::{AsId, InterconnectId};
+use serde::{Deserialize, Serialize};
+
+/// The best route an AS holds toward the origin of one routing computation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BestRoute {
+    /// How this AS learned the route (drives local-pref and export rules).
+    pub class: RouteClass,
+    /// AS-path length including prepending (origin's own route has length 0).
+    pub path_len: u32,
+    /// Next hop toward the origin; `None` at the origin itself.
+    pub via: Option<AsId>,
+    /// For ASes adjacent to the origin: the interconnects into the origin
+    /// that are tied-best under BGP (same effective path length). The
+    /// realization layer picks one by exit policy; this is where anycast
+    /// catchment geography comes from.
+    pub entry_links: Vec<InterconnectId>,
+    /// The route carries NO_EXPORT: its holder must not re-advertise it.
+    pub no_export: bool,
+}
+
+impl BestRoute {
+    /// The origin's trivial route to itself.
+    pub fn origin() -> Self {
+        BestRoute {
+            class: RouteClass::Customer,
+            path_len: 0,
+            via: None,
+            entry_links: Vec::new(),
+            no_export: false,
+        }
+    }
+
+    /// Whether this is the origin's own route.
+    pub fn is_origin(&self) -> bool {
+        self.via.is_none() && self.path_len == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn origin_route_shape() {
+        let r = BestRoute::origin();
+        assert!(r.is_origin());
+        assert_eq!(r.path_len, 0);
+        assert!(r.entry_links.is_empty());
+    }
+
+    #[test]
+    fn non_origin_route() {
+        let r = BestRoute {
+            class: RouteClass::Peer,
+            path_len: 2,
+            via: Some(AsId(5)),
+            entry_links: vec![],
+            no_export: false,
+        };
+        assert!(!r.is_origin());
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests of announcement algebra (the grooming levers).
+
+use bb_bgp::{compute_routes, Announcement, Scope};
+use bb_topology::{generate, AsClass, TopologyConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Withhold-then-offer round-trips to the full announcement.
+    #[test]
+    fn withhold_offer_roundtrip(seed in 0u64..50_000, pick in 0usize..64) {
+        let topo = generate(&TopologyConfig::small(seed));
+        let origin = topo.ases_of_class(AsClass::Eyeball).next().unwrap().id;
+        let adj = topo.adjacency(origin);
+        let link = adj[pick % adj.len()].1;
+
+        let full = Announcement::full(&topo, origin);
+        let mut ann = Announcement::full(&topo, origin);
+        ann.withhold_link(link);
+        prop_assert_eq!(ann.len(), full.len() - 1);
+        ann.offer(link, 0);
+        prop_assert_eq!(ann.len(), full.len());
+
+        // Routing outcome identical to full.
+        let a = compute_routes(&topo, &ann);
+        let b = compute_routes(&topo, &full);
+        for node in topo.ases() {
+            prop_assert_eq!(a.route(node.id), b.route(node.id));
+        }
+    }
+
+    /// Prepending is idempotent per link: applying the same prepend twice
+    /// equals applying it once.
+    #[test]
+    fn prepend_idempotent(seed in 0u64..50_000, n in 1u32..6) {
+        let topo = generate(&TopologyConfig::small(seed));
+        let origin = topo.ases_of_class(AsClass::Eyeball).next().unwrap().id;
+        let mut once = Announcement::full(&topo, origin);
+        let mut twice = Announcement::full(&topo, origin);
+        for &(_, l) in topo.adjacency(origin) {
+            once.prepend_link(l, n);
+            twice.prepend_link(l, n);
+            twice.prepend_link(l, n);
+        }
+        let a = compute_routes(&topo, &once);
+        let b = compute_routes(&topo, &twice);
+        for node in topo.ases() {
+            prop_assert_eq!(a.route(node.id), b.route(node.id));
+        }
+    }
+
+    /// Scoping every offer NO_EXPORT bounds reachability by the neighbor
+    /// count, for any origin.
+    #[test]
+    fn no_export_bounds_reach(seed in 0u64..50_000, origin_pick in 0usize..32) {
+        let topo = generate(&TopologyConfig::small(seed));
+        let eyeballs: Vec<_> = topo.ases_of_class(AsClass::Eyeball).collect();
+        let origin = eyeballs[origin_pick % eyeballs.len()].id;
+        let mut ann = Announcement::empty(origin);
+        for &(_, l) in topo.adjacency(origin) {
+            ann.offer_scoped(l, 0, Scope::NoExport);
+        }
+        let table = compute_routes(&topo, &ann);
+        prop_assert!(table.reachable_count() <= 1 + topo.neighbors(origin).len());
+        prop_assert!(table.reachable_count() >= 2, "at least one neighbor hears it");
+    }
+
+    /// Mixed scopes: as long as every neighbor keeps at least one Global
+    /// copy at the same effective prepend, tagging its *other* links
+    /// NO_EXPORT changes nothing — the neighbor is free to re-export the
+    /// untagged copy.
+    #[test]
+    fn no_export_on_redundant_links_is_invisible(seed in 0u64..50_000) {
+        let topo = generate(&TopologyConfig::small(seed));
+        let origin = topo.ases_of_class(AsClass::Eyeball).next().unwrap().id;
+        let full = compute_routes(&topo, &Announcement::full(&topo, origin));
+        let mut ann = Announcement::full(&topo, origin);
+        // For each neighbor with ≥2 links, tag exactly one of them.
+        let mut seen: std::collections::HashMap<_, usize> = Default::default();
+        let mut tag: Vec<_> = Vec::new();
+        for &(nb, l) in topo.adjacency(origin) {
+            *seen.entry(nb).or_insert(0) += 1;
+            if seen[&nb] == 2 {
+                tag.push(l); // the second link of this neighbor
+            }
+        }
+        for l in tag {
+            ann.offer_scoped(l, 0, Scope::NoExport);
+        }
+        let mixed = compute_routes(&topo, &ann);
+        prop_assert_eq!(mixed.reachable_count(), full.reachable_count());
+        for node in topo.ases() {
+            let (a, b) = (mixed.route(node.id), full.route(node.id));
+            match (a, b) {
+                (Some(x), Some(y)) => {
+                    prop_assert_eq!(x.class, y.class);
+                    prop_assert_eq!(x.path_len, y.path_len);
+                }
+                (None, None) => {}
+                _ => prop_assert!(false, "reachability mismatch at {}", node.id),
+            }
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! Anycast serving: one prefix announced from many front-end sites, BGP
+//! picks the site (§2.3.2).
+//!
+//! The serving front-end for a client is determined by where the client's
+//! BGP path *enters* the provider: the entry interconnect is chosen by the
+//! last AS before the provider (hot-potato among the tied-best announced
+//! links), and the request is then served by the announcing site closest to
+//! that ingress over the WAN. "BGP steers a client request to a particular
+//! front-end location … it is known to not always pick nearby servers."
+
+use crate::provider::Provider;
+use bb_bgp::{compute_routes, Announcement, RoutingTable};
+use bb_geo::CityId;
+use bb_netsim::{realize_path, RealizeSpec, RealizedPath};
+use bb_topology::{AsId, Topology};
+
+/// An anycast (or unicast) deployment: announcing sites plus the resulting
+/// routing state.
+#[derive(Debug, Clone)]
+pub struct AnycastDeployment {
+    pub provider: AsId,
+    /// Front-end cities announcing the prefix.
+    pub sites: Vec<CityId>,
+    pub announcement: Announcement,
+    pub table: RoutingTable,
+}
+
+/// How one client reaches the deployment.
+#[derive(Debug, Clone)]
+pub struct ClientService {
+    /// Realized client→provider path (public Internet part).
+    pub path: RealizedPath,
+    /// City where traffic enters the provider.
+    pub entry_city: CityId,
+    /// Serving front-end site.
+    pub front_end: CityId,
+    /// Extra one-way WAN carriage from ingress to the front-end, ms.
+    pub wan_extra_ms: f64,
+}
+
+impl AnycastDeployment {
+    /// Announce from every provider interconnect located at one of `sites`.
+    pub fn deploy(topo: &Topology, provider: &Provider, sites: &[CityId]) -> AnycastDeployment {
+        let mut ann = Announcement::empty(provider.asn);
+        for &(_, link) in topo.adjacency(provider.asn) {
+            if sites.contains(&topo.link(link).city) {
+                ann.offer(link, 0);
+            }
+        }
+        Self::deploy_with(topo, provider, sites, ann)
+    }
+
+    /// Deploy with a custom (possibly groomed) announcement.
+    pub fn deploy_with(
+        topo: &Topology,
+        provider: &Provider,
+        sites: &[CityId],
+        announcement: Announcement,
+    ) -> AnycastDeployment {
+        assert!(!sites.is_empty(), "need at least one site");
+        assert!(
+            sites.iter().all(|s| provider.has_pop(*s)),
+            "sites must be provider PoPs"
+        );
+        let table = compute_routes(topo, &announcement);
+        AnycastDeployment {
+            provider: provider.asn,
+            sites: sites.to_vec(),
+            announcement,
+            table,
+        }
+    }
+
+    /// A single-site unicast deployment.
+    ///
+    /// Satellite front-ends without local interconnects announce their
+    /// unicast prefix at the nearest (by WAN) PoP that has interconnects;
+    /// traffic then rides the WAN from that ingress to the site.
+    pub fn unicast(topo: &Topology, provider: &Provider, site: CityId) -> AnycastDeployment {
+        let mut ann = Announcement::empty(provider.asn);
+        let announce_at = |ann: &mut Announcement, city: CityId| {
+            let mut any = false;
+            for &(_, link) in topo.adjacency(provider.asn) {
+                if topo.link(link).city == city {
+                    ann.offer(link, 0);
+                    any = true;
+                }
+            }
+            any
+        };
+        if !announce_at(&mut ann, site) {
+            // Nearest connected PoP by WAN distance.
+            let connected: Vec<CityId> = {
+                let mut v: Vec<CityId> = topo
+                    .adjacency(provider.asn)
+                    .iter()
+                    .map(|&(_, l)| topo.link(l).city)
+                    .collect();
+                v.sort();
+                v.dedup();
+                v
+            };
+            if let Some(fallback) = connected
+                .into_iter()
+                .filter_map(|c| provider.wan.path_ms(site, c).map(|ms| (c, ms)))
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .map(|(c, _)| c)
+            {
+                announce_at(&mut ann, fallback);
+            }
+        }
+        Self::deploy_with(topo, provider, &[site], ann)
+    }
+
+    /// Serve a client: realize its path into the provider and pick the
+    /// front-end. `None` if the client AS has no route (fully withheld
+    /// announcement).
+    pub fn serve(
+        &self,
+        topo: &Topology,
+        provider: &Provider,
+        client_as: AsId,
+        client_city: CityId,
+    ) -> Option<ClientService> {
+        let (path, entry_city) =
+            route_into_provider(topo, &self.table, self.provider, client_as, client_city)?;
+
+        // Serving site: nearest announcing site from the ingress over the
+        // WAN (the ingress router routes the anycast address internally).
+        let (front_end, wan_extra_ms) = self
+            .sites
+            .iter()
+            .filter_map(|&s| provider.wan.path_ms(entry_city, s).map(|ms| (s, ms)))
+            .min_by(|a, b| a.1.total_cmp(&b.1))?;
+
+        Some(ClientService {
+            path,
+            entry_city,
+            front_end,
+            wan_extra_ms,
+        })
+    }
+}
+
+/// Realize a client's BGP path into the provider: walk the via-chain,
+/// realize city-level with the final hop restricted to the announced entry
+/// links. Returns the realized path and the ingress city.
+pub fn route_into_provider(
+    topo: &Topology,
+    table: &RoutingTable,
+    provider: AsId,
+    client_as: AsId,
+    client_city: CityId,
+) -> Option<(RealizedPath, CityId)> {
+    if client_as == provider {
+        return None;
+    }
+    let chain = table.as_path(client_as)?;
+    debug_assert_eq!(*chain.last().unwrap(), provider);
+    // entry_links live on the provider's direct neighbor in the chain.
+    let neighbor = chain[chain.len() - 2];
+    let entry_links = &table.route(neighbor)?.entry_links;
+    debug_assert!(!entry_links.is_empty(), "first-hop AS must carry entry links");
+
+    let spec = RealizeSpec {
+        as_path: &chain,
+        src_city: client_city,
+        dst_city: None,
+        first_link: None,
+        final_entry_links: Some(entry_links),
+    };
+    let path = realize_path(topo, &spec);
+    let entry_city = topo.link(path.entry_link.expect("entered provider")).city;
+    Some((path, entry_city))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::provider::{build_provider, ProviderConfig};
+    use bb_topology::{generate, AsClass, TopologyConfig};
+
+    fn world() -> (Topology, Provider) {
+        let mut topo = generate(&TopologyConfig::small(51));
+        let p = build_provider(&mut topo, &ProviderConfig::microsoft_like(5));
+        (topo, p)
+    }
+
+    #[test]
+    fn full_deployment_serves_every_eyeball() {
+        let (topo, p) = world();
+        let dep = AnycastDeployment::deploy(&topo, &p, &p.pops.clone());
+        for eye in topo.ases_of_class(AsClass::Eyeball) {
+            let city = eye.footprint[0];
+            let svc = dep
+                .serve(&topo, &p, eye.id, city)
+                .unwrap_or_else(|| panic!("{} unserved", eye.name));
+            assert!(dep.sites.contains(&svc.front_end));
+            assert!(p.has_pop(svc.entry_city));
+        }
+    }
+
+    #[test]
+    fn front_end_at_ingress_when_ingress_is_a_site() {
+        let (topo, p) = world();
+        let dep = AnycastDeployment::deploy(&topo, &p, &p.pops.clone());
+        for eye in topo.ases_of_class(AsClass::Eyeball).take(10) {
+            let svc = dep.serve(&topo, &p, eye.id, eye.footprint[0]).unwrap();
+            // Every PoP is a site, so the ingress itself serves.
+            assert_eq!(svc.front_end, svc.entry_city);
+            assert_eq!(svc.wan_extra_ms, 0.0);
+        }
+    }
+
+    #[test]
+    fn single_site_unicast_serves_from_that_site() {
+        let (topo, p) = world();
+        let site = p.pops[0];
+        let dep = AnycastDeployment::unicast(&topo, &p, site);
+        let eye = topo.ases_of_class(AsClass::Eyeball).last().unwrap();
+        let svc = dep.serve(&topo, &p, eye.id, eye.footprint[0]).unwrap();
+        assert_eq!(svc.front_end, site);
+        // Ingress must be at the announcing city (the only announced links).
+        assert_eq!(svc.entry_city, site);
+    }
+
+    #[test]
+    fn anycast_catchment_is_usually_nearby() {
+        // With all PoPs announcing, most clients should be served within
+        // their own region (the §3.2.1 common case).
+        let (topo, p) = world();
+        let dep = AnycastDeployment::deploy(&topo, &p, &p.pops.clone());
+        let mut same_region = 0;
+        let mut total = 0;
+        for eye in topo.ases_of_class(AsClass::Eyeball) {
+            let city = eye.footprint[0];
+            let svc = dep.serve(&topo, &p, eye.id, city).unwrap();
+            total += 1;
+            if topo.atlas.city(svc.front_end).region == topo.atlas.city(city).region {
+                same_region += 1;
+            }
+        }
+        assert!(
+            same_region * 10 >= total * 6,
+            "only {same_region}/{total} served in-region"
+        );
+    }
+
+    #[test]
+    fn withheld_everything_serves_no_one() {
+        let (topo, p) = world();
+        let ann = Announcement::empty(p.asn);
+        let dep = AnycastDeployment::deploy_with(&topo, &p, &[p.pops[0]], ann);
+        let eye = topo.ases_of_class(AsClass::Eyeball).next().unwrap();
+        assert!(dep.serve(&topo, &p, eye.id, eye.footprint[0]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one site")]
+    fn empty_sites_panics() {
+        let (topo, p) = world();
+        AnycastDeployment::deploy(&topo, &p, &[]);
+    }
+}

@@ -1,0 +1,32 @@
+//! # bb-cdn — the content/cloud provider substrate
+//!
+//! Models the infrastructure the paper's three studies run on, as one
+//! provider abstraction parameterized per study:
+//!
+//! * [`provider`] attaches a content AS to the topology: PoP placement,
+//!   PNIs into eyeball networks, public peering with transits, tier-1
+//!   transit at every PoP — the §2 infrastructure build-out,
+//! * [`wan`] is the provider's private backbone between PoPs with explicit
+//!   link geography (the WAN Figure 5's Premium tier rides; its cable
+//!   layout — e.g. South Asia connecting eastwards via Singapore — encodes
+//!   the §3.3.2 India case study),
+//! * [`anycast`] computes anycast catchments and per-site unicast routing
+//!   for the Microsoft-style study (§2.3.2),
+//! * [`dns`] is the LDNS-granularity redirection system §3.2.1 evaluates,
+//! * [`egress`] is the Edge-Fabric-style per-PoP egress controller (§2.3.1),
+//! * [`tiers`] implements Premium (private WAN) vs Standard (public
+//!   Internet) delivery for the Google-style study (§2.3.3).
+
+pub mod anycast;
+pub mod dns;
+pub mod egress;
+pub mod provider;
+pub mod tiers;
+pub mod wan;
+
+pub use anycast::AnycastDeployment;
+pub use dns::{DnsRedirector, SiteChoice};
+pub use egress::{EgressController, EgressDecision};
+pub use provider::{build_provider, Provider, ProviderConfig};
+pub use tiers::{Tier, TierDeployment};
+pub use wan::Wan;

@@ -1,0 +1,193 @@
+//! CSV export of figure data.
+//!
+//! Every figure can be dumped as plain CSV so the ASCII charts can be
+//! re-plotted with real tooling (`repro --csv DIR` writes one file per
+//! figure). No external dependencies — the data is simple enough that a
+//! minimal writer with proper quoting suffices.
+
+use crate::figures::{Fig1, Fig2, Fig3, Fig4, Fig5};
+use std::io::Write;
+use std::path::Path;
+
+/// Escape one CSV field (RFC 4180 quoting).
+pub fn csv_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Write rows of (x, y) series points with a header.
+fn write_series(
+    path: &Path,
+    header: &str,
+    series: &[(&str, Vec<(f64, f64)>)],
+) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    writeln!(f, "{header}")?;
+    for (label, pts) in series {
+        for &(x, y) in pts {
+            writeln!(f, "{},{x},{y}", csv_field(label))?;
+        }
+    }
+    Ok(())
+}
+
+/// Export Figure 1 (point estimate + CI bound CDFs).
+pub fn fig1_csv(fig: &Fig1, dir: &Path) -> std::io::Result<()> {
+    write_series(
+        &dir.join("fig1.csv"),
+        "series,diff_ms,cum_fraction_of_traffic",
+        &[
+            ("point", fig.diff.points().collect()),
+            ("ci_lower", fig.ci_lower.points().collect()),
+            ("ci_upper", fig.ci_upper.points().collect()),
+        ],
+    )
+}
+
+/// Export Figure 2.
+pub fn fig2_csv(fig: &Fig2, dir: &Path) -> std::io::Result<()> {
+    let mut series: Vec<(&str, Vec<(f64, f64)>)> = Vec::new();
+    if let Some(c) = &fig.peer_vs_transit {
+        series.push(("peer_vs_transit", c.points().collect()));
+    }
+    if let Some(c) = &fig.private_vs_public {
+        series.push(("private_vs_public", c.points().collect()));
+    }
+    write_series(
+        &dir.join("fig2.csv"),
+        "series,diff_ms,cum_fraction_of_traffic",
+        &series,
+    )
+}
+
+/// Export Figure 3 (CCDFs).
+pub fn fig3_csv(fig: &Fig3, dir: &Path) -> std::io::Result<()> {
+    let mut series: Vec<(&str, Vec<(f64, f64)>)> =
+        vec![("world", fig.world.points().collect())];
+    if let Some(c) = &fig.europe {
+        series.push(("europe", c.points().collect()));
+    }
+    if let Some(c) = &fig.united_states {
+        series.push(("united_states", c.points().collect()));
+    }
+    write_series(
+        &dir.join("fig3.csv"),
+        "series,penalty_ms,ccdf_fraction_of_requests",
+        &series,
+    )
+}
+
+/// Export Figure 4.
+pub fn fig4_csv(fig: &Fig4, dir: &Path) -> std::io::Result<()> {
+    write_series(
+        &dir.join("fig4.csv"),
+        "series,improvement_ms,cum_fraction_of_weighted_prefixes",
+        &[
+            ("median", fig.median_improvement.points().collect()),
+            ("p75", fig.p75_improvement.points().collect()),
+        ],
+    )
+}
+
+/// Export Figure 5 (per-country table).
+pub fn fig5_csv(fig: &Fig5, dir: &Path) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(dir.join("fig5.csv"))?;
+    writeln!(
+        f,
+        "country_code,country,region,median_diff_ms,vantage_points,users_m"
+    )?;
+    for r in &fig.rows {
+        writeln!(
+            f,
+            "{},{},{},{},{},{}",
+            r.code,
+            csv_field(r.name),
+            csv_field(r.region.name()),
+            r.median_diff_ms,
+            r.vantage_points,
+            r.users_m
+        )?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bb_stats::{Ccdf, Cdf};
+
+    fn tmpdir() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("bb_export_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn csv_quoting() {
+        assert_eq!(csv_field("plain"), "plain");
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn fig1_roundtrip() {
+        let cdf = Cdf::from_values(&[1.0, 2.0, 3.0]).unwrap();
+        let fig = Fig1 {
+            diff: cdf.clone(),
+            ci_lower: cdf.clone(),
+            ci_upper: cdf,
+            frac_improvable_5ms: 0.02,
+            frac_bgp_good: 0.95,
+            groups: 3,
+        };
+        let dir = tmpdir();
+        fig1_csv(&fig, &dir).unwrap();
+        let content = std::fs::read_to_string(dir.join("fig1.csv")).unwrap();
+        assert!(content.starts_with("series,diff_ms"));
+        // 3 series × 3 points + header.
+        assert_eq!(content.lines().count(), 10);
+        assert!(content.contains("point,1,"));
+    }
+
+    #[test]
+    fn fig3_includes_all_series() {
+        let ccdf = Ccdf::from_values(&[0.0, 10.0, 100.0]).unwrap();
+        let fig = Fig3 {
+            world: ccdf.clone(),
+            europe: Some(ccdf.clone()),
+            united_states: None,
+            frac_within_10ms: 0.8,
+            frac_gt_100ms: 0.05,
+        };
+        let dir = tmpdir();
+        fig3_csv(&fig, &dir).unwrap();
+        let content = std::fs::read_to_string(dir.join("fig3.csv")).unwrap();
+        assert!(content.contains("world,"));
+        assert!(content.contains("europe,"));
+        assert!(!content.contains("united_states,"));
+    }
+
+    #[test]
+    fn fig5_table_shape() {
+        let fig = Fig5 {
+            rows: vec![crate::figures::CountryDiff {
+                code: "IN",
+                name: "India",
+                region: bb_geo::Region::SouthAsia,
+                median_diff_ms: -51.8,
+                vantage_points: 12,
+                users_m: 600.0,
+            }],
+            premium_ingress_within_400km: 0.7,
+            standard_ingress_within_400km: 0.05,
+            qualifying_vps: 12,
+        };
+        let dir = tmpdir();
+        fig5_csv(&fig, &dir).unwrap();
+        let content = std::fs::read_to_string(dir.join("fig5.csv")).unwrap();
+        assert!(content.contains("IN,India,South Asia,-51.8,12,600"));
+    }
+}

@@ -1,0 +1,14 @@
+//! Extension studies: the experiments the paper's open questions call for.
+//!
+//! Each module turns one §3/§4 "open question" or future-work item into a
+//! runnable experiment on the same simulated world.
+
+pub mod availability;
+pub mod ecs;
+pub mod fabric;
+pub mod grooming;
+pub mod hybrid;
+pub mod peering_reduction;
+pub mod single_network;
+pub mod site_count;
+pub mod split_tcp;

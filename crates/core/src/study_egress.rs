@@ -1,0 +1,386 @@
+//! Study A (§3.1): performance-aware egress routing at each PoP vs BGP.
+//!
+//! Compares BGP's preferred route to an *omniscient* performance-aware
+//! controller that always uses the instantaneously-best of the top-3 routes
+//! — the strongest possible opponent, as in the paper: "These measurements
+//! let us compare the performance of BGP's preferred route versus an
+//! omniscient performance-aware route controller that always uses the path
+//! with the best instantaneous performance."
+
+use crate::figures::{Episodes, Fig1, Fig2};
+use crate::world::Scenario;
+use bb_bgp::ProviderRouteClass;
+use bb_measure::{spray, SprayConfig, SprayDataset};
+use bb_stats::{bootstrap_median_ci, Cdf};
+use std::collections::HashMap;
+
+/// Threshold for "meaningful" improvement/degradation, ms (the paper's
+/// "5ms or more" yardstick).
+pub const MEANINGFUL_MS: f64 = 5.0;
+
+/// Results of the egress study.
+pub struct EgressStudy {
+    pub fig1: Fig1,
+    pub fig2: Fig2,
+    pub episodes: Episodes,
+    /// §3.1's closing remark, checked: "We find qualitatively similar
+    /// results for bandwidth (not shown)." Fraction of traffic whose best
+    /// alternate improves modeled goodput by ≥10 %.
+    pub bandwidth_improvable: f64,
+    pub dataset: SprayDataset,
+}
+
+/// Per-⟨PoP, prefix⟩ aggregate used by the figures.
+struct GroupAgg {
+    /// Per-window diffs: preferred − best alternate.
+    window_diffs: Vec<f64>,
+    /// Per-window preferred medians (for the degradation baseline).
+    preferred: Vec<f64>,
+    /// Per-window best-alternate medians.
+    best_alt: Vec<f64>,
+    /// Total traffic volume.
+    volume: f64,
+    /// Per-window best peer / transit / private / public medians, where the
+    /// route classes exist.
+    peer_vs_transit: Vec<f64>,
+    private_vs_public: Vec<f64>,
+}
+
+/// Run the full study.
+pub fn run(scenario: &Scenario, spray_cfg: &SprayConfig) -> EgressStudy {
+    let dataset = spray(
+        &scenario.topo,
+        &scenario.provider,
+        &scenario.workload,
+        &scenario.congestion,
+        spray_cfg,
+    );
+    analyze(scenario, spray_cfg, dataset)
+}
+
+/// Analyze an already-collected spray dataset.
+pub fn analyze(scenario: &Scenario, spray_cfg: &SprayConfig, dataset: SprayDataset) -> EgressStudy {
+    // Index target metadata (classes are per-target, constant over time).
+    let classes_by_key: HashMap<(bb_geo::CityId, bb_workload::PrefixId), Vec<ProviderRouteClass>> =
+        dataset
+            .targets
+            .iter()
+            .map(|t| {
+                (
+                    (t.pop, t.prefix),
+                    t.routes.iter().map(|r| r.class).collect(),
+                )
+            })
+            .collect();
+
+    let mut groups: HashMap<(bb_geo::CityId, bb_workload::PrefixId), GroupAgg> = HashMap::new();
+    for row in &dataset.rows {
+        if row.route_median_ms.len() < 2 {
+            continue; // no alternate to compare against
+        }
+        let classes = &classes_by_key[&(row.pop, row.prefix)];
+        let preferred = row.route_median_ms[0];
+        let best_alt = row.route_median_ms[1..]
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+
+        let agg = groups
+            .entry((row.pop, row.prefix))
+            .or_insert_with(|| GroupAgg {
+                window_diffs: Vec::new(),
+                preferred: Vec::new(),
+                best_alt: Vec::new(),
+                volume: 0.0,
+                peer_vs_transit: Vec::new(),
+                private_vs_public: Vec::new(),
+            });
+        agg.window_diffs.push(preferred - best_alt);
+        agg.preferred.push(preferred);
+        agg.best_alt.push(best_alt);
+        agg.volume += row.volume;
+
+        // Figure 2 class comparisons within this window.
+        let best_of = |pred: &dyn Fn(ProviderRouteClass) -> bool| -> Option<f64> {
+            row.route_median_ms
+                .iter()
+                .zip(classes)
+                .filter(|&(_, &c)| pred(c))
+                .map(|(&m, _)| m)
+                .fold(None, |acc: Option<f64>, m| {
+                    Some(acc.map_or(m, |a| a.min(m)))
+                })
+        };
+        let peer = best_of(&|c| {
+            matches!(
+                c,
+                ProviderRouteClass::PrivatePeer | ProviderRouteClass::PublicPeer
+            )
+        });
+        let transit = best_of(&|c| c == ProviderRouteClass::Transit);
+        if let (Some(p), Some(t)) = (peer, transit) {
+            agg.peer_vs_transit.push(p - t);
+        }
+        let private = best_of(&|c| c == ProviderRouteClass::PrivatePeer);
+        let public = best_of(&|c| c == ProviderRouteClass::PublicPeer);
+        if let (Some(pr), Some(pu)) = (private, public) {
+            agg.private_vs_public.push(pr - pu);
+        }
+    }
+
+    // --- Figure 1 ---
+    let mut point = Vec::new();
+    let mut lower = Vec::new();
+    let mut upper = Vec::new();
+    for ((pop, prefix), agg) in &groups {
+        let ci = bootstrap_median_ci(
+            &agg.window_diffs,
+            0.95,
+            120,
+            scenario.config.seed ^ ((pop.0 as u64) << 32) ^ prefix.0 as u64,
+        )
+        .expect("non-empty group");
+        point.push((ci.point, agg.volume));
+        lower.push((ci.lower, agg.volume));
+        upper.push((ci.upper, agg.volume));
+    }
+    let diff = Cdf::from_weighted(&point).expect("fig1 data");
+    let frac_improvable_5ms = 1.0 - diff.fraction_leq(MEANINGFUL_MS - 1e-9);
+    let frac_bgp_good = diff.fraction_leq(1.0);
+    let fig1 = Fig1 {
+        ci_lower: Cdf::from_weighted(&lower).unwrap(),
+        ci_upper: Cdf::from_weighted(&upper).unwrap(),
+        diff,
+        frac_improvable_5ms,
+        frac_bgp_good,
+        groups: groups.len(),
+    };
+
+    // --- Figure 2 ---
+    let collect_class = |f: &dyn Fn(&GroupAgg) -> &Vec<f64>| -> Option<Cdf> {
+        let pts: Vec<(f64, f64)> = groups
+            .values()
+            .filter(|g| !f(g).is_empty())
+            .map(|g| {
+                let mut v = f(g).clone();
+                v.sort_by(|a, b| a.total_cmp(b));
+                (bb_stats::quantile::quantile_sorted(&v, 0.5), g.volume)
+            })
+            .collect();
+        Cdf::from_weighted(&pts)
+    };
+    let peer_vs_transit = collect_class(&|g| &g.peer_vs_transit);
+    let private_vs_public = collect_class(&|g| &g.private_vs_public);
+    // "Similar performance" = |median diff| within 2 ms, or the less
+    // preferred class outright better (diff > 0).
+    let similar = |c: &Cdf| 1.0 - c.fraction_leq(-2.0 - 1e-9);
+    let frac_transit_close = peer_vs_transit.as_ref().map(similar).unwrap_or(0.0);
+    let frac_public_close = private_vs_public.as_ref().map(similar).unwrap_or(0.0);
+    let fig2 = Fig2 {
+        peer_vs_transit,
+        private_vs_public,
+        frac_transit_close,
+        frac_public_close,
+    };
+
+    // --- §3.1.1 episodes ---
+    let mut degraded_windows = 0usize;
+    let mut degraded_and_alt_degraded = 0usize;
+    let mut total_windows = 0usize;
+    let mut improvable_windows = 0usize;
+    let mut ever_beaten_groups = 0usize;
+    let mut persistent_beaters = 0usize;
+    for agg in groups.values() {
+        let mut pref_sorted = agg.preferred.clone();
+        pref_sorted.sort_by(|a, b| a.total_cmp(b));
+        let pref_base = bb_stats::quantile::quantile_sorted(&pref_sorted, 0.5);
+        let mut alt_sorted = agg.best_alt.clone();
+        alt_sorted.sort_by(|a, b| a.total_cmp(b));
+        let alt_base = bb_stats::quantile::quantile_sorted(&alt_sorted, 0.5);
+
+        let mut beat_count = 0usize;
+        for i in 0..agg.preferred.len() {
+            total_windows += 1;
+            let degraded = agg.preferred[i] > pref_base + MEANINGFUL_MS;
+            if degraded {
+                degraded_windows += 1;
+                if agg.best_alt[i] > alt_base + MEANINGFUL_MS {
+                    degraded_and_alt_degraded += 1;
+                }
+            }
+            if agg.window_diffs[i] >= MEANINGFUL_MS {
+                improvable_windows += 1;
+                beat_count += 1;
+            }
+        }
+        if beat_count > 0 {
+            ever_beaten_groups += 1;
+            if beat_count as f64 >= 0.8 * agg.preferred.len() as f64 {
+                persistent_beaters += 1;
+            }
+        }
+    }
+    let episodes = Episodes {
+        degrade_together: if degraded_windows > 0 {
+            degraded_and_alt_degraded as f64 / degraded_windows as f64
+        } else {
+            0.0
+        },
+        frac_windows_degraded: degraded_windows as f64 / total_windows.max(1) as f64,
+        frac_windows_improvable: improvable_windows as f64 / total_windows.max(1) as f64,
+        persistent_beater_fraction: if ever_beaten_groups > 0 {
+            persistent_beaters as f64 / ever_beaten_groups as f64
+        } else {
+            0.0
+        },
+    };
+
+    // --- Bandwidth variant (§3.1: "qualitatively similar results"). ---
+    // Goodput over each route from its median MinRTT and egress
+    // utilization; a group counts as bandwidth-improvable if the best
+    // alternate's median goodput beats BGP's by ≥10 %.
+    let mut bw_points = Vec::new();
+    {
+        let mut per_group: HashMap<(bb_geo::CityId, bb_workload::PrefixId), (Vec<f64>, f64)> =
+            HashMap::new();
+        for row in &dataset.rows {
+            if row.route_median_ms.len() < 2 {
+                continue;
+            }
+            let gp = |i: usize| {
+                bb_netsim::goodput_mbps(row.route_median_ms[i], row.route_util[i], 200.0)
+            };
+            let bgp = gp(0);
+            let best_alt = (1..row.route_median_ms.len())
+                .map(gp)
+                .fold(f64::NEG_INFINITY, f64::max);
+            let entry = per_group
+                .entry((row.pop, row.prefix))
+                .or_insert((Vec::new(), 0.0));
+            entry.0.push(best_alt / bgp.max(1e-9));
+            entry.1 += row.volume;
+        }
+        for (mut ratios, volume) in per_group.into_values() {
+            ratios.sort_by(|a, b| a.total_cmp(b));
+            let med = bb_stats::quantile::quantile_sorted(&ratios, 0.5);
+            bw_points.push((med, volume));
+        }
+    }
+    let total_bw: f64 = bw_points.iter().map(|&(_, w)| w).sum();
+    let bandwidth_improvable = bw_points
+        .iter()
+        .filter(|&&(r, _)| r >= 1.10)
+        .map(|&(_, w)| w)
+        .sum::<f64>()
+        / total_bw.max(1e-12);
+
+    let _ = spray_cfg;
+    EgressStudy {
+        fig1,
+        fig2,
+        episodes,
+        bandwidth_improvable,
+        dataset,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::{Scale, ScenarioConfig};
+
+    fn quick_study() -> EgressStudy {
+        let scenario = Scenario::build(ScenarioConfig::facebook(3, Scale::Test));
+        let cfg = SprayConfig {
+            days: 1.0,
+            window_stride: 8,
+            sessions_per_window: 5,
+            ..Default::default()
+        };
+        run(&scenario, &cfg)
+    }
+
+    #[test]
+    fn fig1_has_paper_shape() {
+        let s = quick_study();
+        // Core claim: BGP good for the vast majority of traffic.
+        assert!(
+            s.fig1.frac_bgp_good > 0.7,
+            "BGP within 1ms-or-better for only {:.2}",
+            s.fig1.frac_bgp_good
+        );
+        // Improvable tail exists but is small.
+        assert!(
+            s.fig1.frac_improvable_5ms < 0.25,
+            "improvable {:.2} too large",
+            s.fig1.frac_improvable_5ms
+        );
+        assert!(s.fig1.groups > 50);
+    }
+
+    #[test]
+    fn ci_band_brackets_point_estimate() {
+        let s = quick_study();
+        // At any x, lower-bound CDF ≥ point CDF ≥ upper-bound CDF (stochastic
+        // ordering: lower bounds are smaller values).
+        for x in [-5.0, -1.0, 0.0, 1.0, 5.0] {
+            let lo = s.fig1.ci_lower.fraction_leq(x);
+            let pt = s.fig1.diff.fraction_leq(x);
+            let hi = s.fig1.ci_upper.fraction_leq(x);
+            assert!(lo >= pt - 1e-9, "at {x}: lower {lo} < point {pt}");
+            assert!(pt >= hi - 1e-9, "at {x}: point {pt} < upper {hi}");
+        }
+    }
+
+    #[test]
+    fn fig2_exists_and_is_concentrated() {
+        let s = quick_study();
+        let c = s.fig2.peer_vs_transit.as_ref().expect("peer/transit data");
+        // Distribution should be concentrated near zero: most mass in ±10ms.
+        let central = c.fraction_leq(10.0) - c.fraction_leq(-10.0 - 1e-9);
+        assert!(central > 0.6, "only {central:.2} within ±10ms");
+    }
+
+    #[test]
+    fn episode_analysis_fractions_in_range() {
+        let s = quick_study();
+        for v in [
+            s.episodes.degrade_together,
+            s.episodes.frac_windows_degraded,
+            s.episodes.frac_windows_improvable,
+            s.episodes.persistent_beater_fraction,
+        ] {
+            assert!((0.0..=1.0).contains(&v));
+        }
+        // First §3.1.1 observation: degradations are substantially
+        // correlated across a destination's routes.
+        assert!(
+            s.episodes.degrade_together > 0.2,
+            "degrade-together {:.3}",
+            s.episodes.degrade_together
+        );
+        // Third observation: persistent beaters exist among the alternates
+        // that ever beat BGP.
+        assert!(s.episodes.persistent_beater_fraction > 0.0);
+    }
+
+    #[test]
+    fn bandwidth_results_qualitatively_match_latency() {
+        // §3.1: similar story for bandwidth — only a small fraction of
+        // traffic has a meaningfully better alternate.
+        let s = quick_study();
+        assert!(
+            s.bandwidth_improvable < 0.25,
+            "bandwidth improvable {:.2}",
+            s.bandwidth_improvable
+        );
+    }
+
+    #[test]
+    fn renders_do_not_panic() {
+        let s = quick_study();
+        assert!(s.fig1.render().contains("Figure 1"));
+        assert!(s.fig2.render().contains("Figure 2"));
+        assert!(s.episodes.render().contains("episodes"));
+    }
+}

@@ -1,0 +1,153 @@
+//! Scenario assembly: one struct holding everything a study needs.
+
+use bb_cdn::{build_provider, Provider, ProviderConfig};
+use bb_netsim::{CongestionConfig, CongestionModel};
+use bb_topology::{generate, Topology, TopologyConfig};
+use bb_workload::{generate_workload, Workload, WorkloadConfig};
+use serde::Serialize;
+
+/// How big a world to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Scale {
+    /// Small topology for tests and quick runs (~100 ASes).
+    Test,
+    /// Full default topology (~400 ASes, every country populated).
+    Full,
+    /// Denser world (~900 ASes, ~2× cities, finer eyeball granularity) for
+    /// users who want statistics closer to provider scale. Experiments run
+    /// in tens of seconds instead of seconds.
+    Large,
+}
+
+/// Everything needed to build a [`Scenario`].
+#[derive(Debug, Clone, Serialize)]
+pub struct ScenarioConfig {
+    pub seed: u64,
+    pub topology: TopologyConfig,
+    pub provider: ProviderConfig,
+    pub workload: WorkloadConfig,
+    pub congestion: CongestionConfig,
+    /// Multiplier on every (non-content) AS's exit fidelity. 1.0 keeps the
+    /// topology defaults; <1.0 models an era/market where interior exit
+    /// selection tracked geography even less (used by the Microsoft-2015
+    /// scenario, whose measured anycast catchments were notoriously loose).
+    pub exit_fidelity_factor: f64,
+}
+
+impl ScenarioConfig {
+    fn topology_for(scale: Scale, seed: u64) -> TopologyConfig {
+        match scale {
+            Scale::Test => TopologyConfig::small(seed),
+            Scale::Full => TopologyConfig {
+                seed,
+                ..Default::default()
+            },
+            Scale::Large => TopologyConfig {
+                seed,
+                atlas: bb_geo::atlas::AtlasConfig {
+                    seed: seed ^ 0x_1a1a,
+                    city_density: 1.4,
+                },
+                n_tier1: 14,
+                transits_per_region: 7,
+                global_transits: 10,
+                eyeball_users_per_as_m: 12.0,
+                max_eyeballs_per_country: 20,
+                ..Default::default()
+            },
+        }
+    }
+
+    /// The §2.3.1 world: Facebook-like provider, wide PNI deployment.
+    pub fn facebook(seed: u64, scale: Scale) -> Self {
+        Self {
+            seed,
+            topology: Self::topology_for(scale, seed ^ 0x_0f0f),
+            provider: ProviderConfig::facebook_like(seed ^ 0x_1111),
+            workload: WorkloadConfig {
+                seed: seed ^ 0x_2222,
+                ..Default::default()
+            },
+            congestion: CongestionConfig::default(),
+            exit_fidelity_factor: 1.0,
+        }
+    }
+
+    /// The §2.3.2 world: Microsoft-like anycast CDN.
+    pub fn microsoft(seed: u64, scale: Scale) -> Self {
+        Self {
+            provider: ProviderConfig::microsoft_like(seed ^ 0x_1111),
+            exit_fidelity_factor: 0.72,
+            ..Self::facebook(seed, scale)
+        }
+    }
+
+    /// The §2.3.3 world: Google-like cloud with a very wide edge.
+    pub fn google(seed: u64, scale: Scale) -> Self {
+        Self {
+            provider: ProviderConfig::google_like(seed ^ 0x_1111),
+            ..Self::facebook(seed, scale)
+        }
+    }
+}
+
+/// A built world: topology with provider attached, workload, congestion.
+pub struct Scenario {
+    pub config: ScenarioConfig,
+    pub topo: Topology,
+    pub provider: Provider,
+    pub workload: Workload,
+    pub congestion: CongestionModel,
+}
+
+impl Scenario {
+    /// Build the world from a config.
+    pub fn build(config: ScenarioConfig) -> Scenario {
+        let mut topo = generate(&config.topology);
+        if config.exit_fidelity_factor < 1.0 {
+            let ids: Vec<_> = topo.ases().iter().map(|a| (a.id, a.exit_fidelity)).collect();
+            for (id, f) in ids {
+                topo.set_exit_fidelity(id, f * config.exit_fidelity_factor);
+            }
+        }
+        let provider = build_provider(&mut topo, &config.provider);
+        let workload = generate_workload(&topo, &config.workload);
+        let congestion = CongestionModel::new(config.seed ^ 0x_c01d, config.congestion.clone());
+        Scenario {
+            config,
+            topo,
+            provider,
+            workload,
+            congestion,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_scale_builds_quickly_and_validates() {
+        let s = Scenario::build(ScenarioConfig::facebook(1, Scale::Test));
+        bb_topology::validate::validate(&s.topo).unwrap();
+        assert!(!s.workload.prefixes.is_empty());
+        assert!(!s.provider.pops.is_empty());
+    }
+
+    #[test]
+    fn presets_differ_in_provider_breadth() {
+        let g = Scenario::build(ScenarioConfig::google(1, Scale::Test));
+        let m = Scenario::build(ScenarioConfig::microsoft(1, Scale::Test));
+        assert!(g.provider.pops.len() > m.provider.pops.len());
+    }
+
+    #[test]
+    fn deterministic_build() {
+        let a = Scenario::build(ScenarioConfig::facebook(5, Scale::Test));
+        let b = Scenario::build(ScenarioConfig::facebook(5, Scale::Test));
+        assert_eq!(a.topo.as_count(), b.topo.as_count());
+        assert_eq!(a.workload.prefixes.len(), b.workload.prefixes.len());
+        assert_eq!(a.provider.pops, b.provider.pops);
+    }
+}

@@ -1,0 +1,58 @@
+//! Speed-of-light-in-fiber delay primitives.
+//!
+//! Light in fiber covers roughly 200 km per millisecond (c × ~0.67). The
+//! paper's rule of thumb — "500 km … translates to as little as 5 ms RTT"
+//! (§2.3.1) — corresponds to 200 km/ms one-way times two directions with a
+//! factor-of-two route inflation; our default inflation factors are chosen so
+//! that calibration check S23x reproduces that arithmetic.
+
+/// Kilometers light travels per millisecond in fiber.
+pub const FIBER_KM_PER_MS: f64 = 200.0;
+
+/// One-way propagation delay over `distance_km` of great-circle distance,
+/// inflated by `path_inflation` (≥ 1.0) to account for cable routes not
+/// following great circles.
+pub fn propagation_delay_ms(distance_km: f64, path_inflation: f64) -> f64 {
+    debug_assert!(distance_km >= 0.0);
+    debug_assert!(path_inflation >= 1.0);
+    distance_km * path_inflation / FIBER_KM_PER_MS
+}
+
+/// The minimum possible RTT between two points `distance_km` apart: straight
+/// great-circle fiber, no queueing, no inflation.
+pub fn min_rtt_ms(distance_km: f64) -> f64 {
+    2.0 * propagation_delay_ms(distance_km, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_rule_of_thumb_500km_is_5ms_rtt() {
+        // §2.3.1: clients within 500 km → "as little as 5ms RTT".
+        let rtt = min_rtt_ms(500.0);
+        assert!((rtt - 5.0).abs() < 1e-9, "got {rtt}");
+    }
+
+    #[test]
+    fn inflation_scales_linearly() {
+        let base = propagation_delay_ms(1000.0, 1.0);
+        let inflated = propagation_delay_ms(1000.0, 1.5);
+        assert!((inflated / base - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_distance_zero_delay() {
+        assert_eq!(propagation_delay_ms(0.0, 1.0), 0.0);
+        assert_eq!(min_rtt_ms(0.0), 0.0);
+    }
+
+    #[test]
+    fn transatlantic_min_rtt_realistic() {
+        // NYC–London ≈ 5570 km ⇒ theoretical floor ≈ 56 ms RTT; real-world
+        // best paths are ~70 ms.
+        let rtt = min_rtt_ms(5570.0);
+        assert!((50.0..60.0).contains(&rtt), "got {rtt}");
+    }
+}

@@ -1,0 +1,28 @@
+//! # bb-geo — geographic substrate
+//!
+//! Geographic primitives for the Beating-BGP reproduction: coordinates and
+//! great-circle distances, a synthetic-but-realistic world atlas (regions,
+//! countries with population weights, cities), and speed-of-light-in-fiber
+//! delay models.
+//!
+//! Everything here is deterministic: the atlas base data is static, and the
+//! city sampler takes an explicit seed.
+//!
+//! The paper's studies weight results by where Internet users actually are
+//! (e.g., §3.3 weights vantage points by APNIC user-population estimates), so
+//! the atlas carries per-country user populations that the workload crate
+//! turns into traffic weights.
+
+pub mod atlas;
+pub mod city;
+pub mod country;
+pub mod delay;
+pub mod point;
+pub mod region;
+
+pub use atlas::Atlas;
+pub use city::{City, CityId};
+pub use country::{Country, CountryIdx};
+pub use delay::{min_rtt_ms, propagation_delay_ms, FIBER_KM_PER_MS};
+pub use point::GeoPoint;
+pub use region::Region;

@@ -1,0 +1,263 @@
+//! Bing-style client beacons (§2.3.2, §3.2).
+//!
+//! "This earlier work instrumented millions of Bing search results with
+//! JavaScript to measure from the client to both the anycast address and to
+//! a number of nearby unicast addresses." Each beacon measurement therefore
+//! carries, for one client prefix at one time, the anycast RTT plus the RTT
+//! to the N unicast front-ends nearest the client.
+
+use bb_cdn::{AnycastDeployment, Provider};
+use bb_geo::{CityId, Region};
+use bb_netsim::{path_rtt_ms, sample_min_rtt, CongestionKey, CongestionModel, RttModel, SimTime};
+use bb_topology::Topology;
+use bb_workload::{PrefixId, Workload};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use std::collections::HashMap;
+
+/// Front-end processing time added to every request, ms.
+pub const FRONTEND_PROCESS_MS: f64 = 0.5;
+
+/// Beacon campaign configuration.
+#[derive(Debug, Clone, Serialize)]
+pub struct BeaconConfig {
+    pub seed: u64,
+    /// Unicast front-ends measured per client (paper: "a number of nearby
+    /// unicast addresses").
+    pub n_nearest_unicast: usize,
+    /// Measurement rounds (each at a different time of day).
+    pub rounds: usize,
+    /// Hours between rounds.
+    pub round_spacing_h: f64,
+    /// Jittered RTT samples per measurement.
+    pub samples: usize,
+}
+
+impl Default for BeaconConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0x_000b_eac0,
+            n_nearest_unicast: 4,
+            rounds: 8,
+            round_spacing_h: 7.0, // co-prime with 24h: sweeps the day
+            samples: 3,
+        }
+    }
+}
+
+/// One beacon observation: a client prefix's side-by-side measurements.
+#[derive(Debug, Clone, Serialize)]
+pub struct BeaconMeasurement {
+    pub prefix: PrefixId,
+    pub weight: f64,
+    pub region: Region,
+    pub time: SimTime,
+    pub anycast_rtt_ms: f64,
+    /// Which front-end anycast landed on.
+    pub anycast_front_end: CityId,
+    /// (site, RTT) for the measured nearby unicast front-ends.
+    pub unicast_rtt_ms: Vec<(CityId, f64)>,
+}
+
+impl BeaconMeasurement {
+    /// RTT of the best measured unicast front-end.
+    pub fn best_unicast_ms(&self) -> f64 {
+        self.unicast_rtt_ms
+            .iter()
+            .map(|&(_, r)| r)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Paper's Fig 3 quantity: anycast − best unicast (positive = anycast
+    /// slower).
+    pub fn anycast_penalty_ms(&self) -> f64 {
+        self.anycast_rtt_ms - self.best_unicast_ms()
+    }
+}
+
+/// Run a beacon campaign against an anycast deployment plus per-site
+/// unicast deployments.
+///
+/// `unicast` maps each site to its single-site deployment (built once by
+/// the caller; they're reused across rounds and clients).
+pub fn run_beacons(
+    topo: &Topology,
+    provider: &Provider,
+    anycast: &AnycastDeployment,
+    unicast: &HashMap<CityId, AnycastDeployment>,
+    workload: &Workload,
+    congestion: &CongestionModel,
+    cfg: &BeaconConfig,
+) -> Vec<BeaconMeasurement> {
+    let rtt_model = RttModel::default();
+    let mut out = Vec::new();
+
+    for prefix in &workload.prefixes {
+        let lastmile = CongestionKey::LastMile(prefix.id.lastmile_code());
+        // Cache the services once per prefix (routing is static).
+        let Some(any_svc) = anycast.serve(topo, provider, prefix.asn, prefix.city) else {
+            continue;
+        };
+        // Nearby sites: by great-circle distance from the client.
+        let mut sites: Vec<(CityId, f64)> = anycast
+            .sites
+            .iter()
+            .map(|&s| {
+                (
+                    s,
+                    topo.atlas
+                        .city(s)
+                        .location
+                        .distance_km(&topo.atlas.city(prefix.city).location),
+                )
+            })
+            .collect();
+        sites.sort_by(|a, b| a.1.total_cmp(&b.1));
+        let uni_svcs: Vec<(CityId, _)> = sites
+            .iter()
+            .take(cfg.n_nearest_unicast)
+            .filter_map(|&(s, _)| {
+                unicast
+                    .get(&s)
+                    .and_then(|dep| dep.serve(topo, provider, prefix.asn, prefix.city))
+                    .map(|svc| (s, svc))
+            })
+            .collect();
+        if uni_svcs.is_empty() {
+            continue;
+        }
+
+        for round in 0..cfg.rounds {
+            let t = SimTime::from_hours(round as f64 * cfg.round_spacing_h);
+            let mut rng = StdRng::seed_from_u64(
+                cfg.seed ^ (prefix.id.0 as u64) << 20 ^ round as u64,
+            );
+
+            let measure = |svc: &bb_cdn::anycast::ClientService, rng: &mut StdRng| {
+                let det = path_rtt_ms(topo, congestion, &svc.path, Some(lastmile), t)
+                    + 2.0 * svc.wan_extra_ms
+                    + FRONTEND_PROCESS_MS;
+                sample_min_rtt(det, &rtt_model, cfg.samples, rng)
+            };
+
+            let anycast_rtt_ms = measure(&any_svc, &mut rng);
+            let unicast_rtt_ms: Vec<(CityId, f64)> = uni_svcs
+                .iter()
+                .map(|(s, svc)| (*s, measure(svc, &mut rng)))
+                .collect();
+
+            out.push(BeaconMeasurement {
+                prefix: prefix.id,
+                weight: prefix.weight,
+                region: topo.atlas.city(prefix.city).region,
+                time: t,
+                anycast_rtt_ms,
+                anycast_front_end: any_svc.front_end,
+                unicast_rtt_ms,
+            });
+        }
+    }
+    out
+}
+
+/// Build the per-site unicast deployments for a set of sites.
+pub fn build_unicast_deployments(
+    topo: &Topology,
+    provider: &Provider,
+    sites: &[CityId],
+) -> HashMap<CityId, AnycastDeployment> {
+    sites
+        .iter()
+        .map(|&s| (s, AnycastDeployment::unicast(topo, provider, s)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bb_cdn::{build_provider, ProviderConfig};
+    use bb_netsim::CongestionConfig;
+    use bb_topology::{generate, TopologyConfig};
+    use bb_workload::{generate_workload, WorkloadConfig};
+
+    fn campaign() -> (Topology, Vec<BeaconMeasurement>) {
+        let mut topo = generate(&TopologyConfig::small(91));
+        let provider = build_provider(&mut topo, &ProviderConfig::microsoft_like(9));
+        let workload = generate_workload(&topo, &WorkloadConfig::default());
+        let congestion = CongestionModel::new(9, CongestionConfig::default());
+        let sites = provider.pops.clone();
+        let anycast = AnycastDeployment::deploy(&topo, &provider, &sites);
+        let unicast = build_unicast_deployments(&topo, &provider, &sites);
+        let cfg = BeaconConfig {
+            rounds: 2,
+            ..Default::default()
+        };
+        let ms = run_beacons(&topo, &provider, &anycast, &unicast, &workload, &congestion, &cfg);
+        (topo, ms)
+    }
+
+    #[test]
+    fn beacons_cover_most_prefixes() {
+        let (_, ms) = campaign();
+        assert!(!ms.is_empty());
+        let prefixes: std::collections::HashSet<_> = ms.iter().map(|m| m.prefix).collect();
+        assert!(prefixes.len() > 50, "got {}", prefixes.len());
+    }
+
+    #[test]
+    fn measurements_are_positive_and_bounded() {
+        let (_, ms) = campaign();
+        for m in &ms {
+            assert!(m.anycast_rtt_ms > 0.0 && m.anycast_rtt_ms < 1000.0);
+            for &(_, r) in &m.unicast_rtt_ms {
+                assert!(r > 0.0 && r < 1500.0);
+            }
+            assert!(m.best_unicast_ms().is_finite());
+        }
+    }
+
+    #[test]
+    fn anycast_mostly_close_to_best_unicast() {
+        // §3.2.1's headline: "most of the time, anycast performs as well as
+        // the best possible unicast front-end". With everything announcing
+        // everywhere, the catchment is usually the nearby site.
+        let (_, ms) = campaign();
+        let close = ms
+            .iter()
+            .filter(|m| m.anycast_penalty_ms() < 10.0)
+            .count();
+        assert!(
+            close * 10 >= ms.len() * 5,
+            "anycast within 10ms for {close}/{}",
+            ms.len()
+        );
+    }
+
+    #[test]
+    fn unicast_count_respects_config() {
+        let (_, ms) = campaign();
+        for m in &ms {
+            assert!(m.unicast_rtt_ms.len() <= 4);
+            assert!(!m.unicast_rtt_ms.is_empty());
+        }
+    }
+
+    #[test]
+    fn rounds_have_distinct_times() {
+        let (_, ms) = campaign();
+        let times: std::collections::HashSet<u64> =
+            ms.iter().map(|m| m.time.minutes().to_bits()).collect();
+        assert_eq!(times.len(), 2);
+    }
+
+    #[test]
+    fn deterministic() {
+        let (_, a) = campaign();
+        let (_, b) = campaign();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.anycast_rtt_ms, y.anycast_rtt_ms);
+        }
+    }
+}

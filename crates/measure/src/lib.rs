@@ -1,0 +1,24 @@
+//! # bb-measure — the measurement systems of the three studies
+//!
+//! Each sub-module reproduces one data-collection pipeline:
+//!
+//! * [`spray`] — the Facebook-style load-balancer instrumentation of §3.1:
+//!   "A sampled subset of client HTTP sessions are sprayed across different
+//!   egress routes, including BGP's most preferred, second-most preferred,
+//!   and third-most preferred path that a PoP has to each client prefix",
+//!   aggregated as median TCP MinRTT per ⟨PoP, prefix, route⟩ per 15-minute
+//!   window, weighted by traffic volume;
+//! * [`beacon`] — the Bing-style JavaScript beacons of §3.2: clients
+//!   measure the anycast address and several nearby unicast front-ends
+//!   side by side;
+//! * [`probe`] — the Speedchecker-style vantage-point probing of §3.3:
+//!   pings (min of 5) and traceroutes (ingress inference) from ⟨City, AS⟩
+//!   vantage points to Premium- and Standard-tier VMs.
+
+pub mod beacon;
+pub mod probe;
+pub mod spray;
+
+pub use beacon::{run_beacons, BeaconConfig, BeaconMeasurement};
+pub use probe::{probe_tiers, select_vantage_points, ProbeConfig, TierProbe, VantagePoint};
+pub use spray::{spray, SprayConfig, SprayDataset, WindowRow};

@@ -1,0 +1,275 @@
+//! Speedchecker-style vantage-point probing (§2.3.3, §3.3).
+//!
+//! "Our credits allow us to issue one traceroute and five pings to each of
+//! the VMs 10 times a day from 800 vantage points, which we select daily to
+//! rotate across ⟨City, AS⟩ locations over time." Each probe records the
+//! min-of-5-pings RTT to the Premium- and Standard-tier VMs and a
+//! traceroute-derived provider-ingress city.
+
+use bb_cdn::{Provider, Tier, TierDeployment};
+use bb_geo::{CityId, CountryIdx};
+use bb_netsim::{path_rtt_ms, sample_min_rtt, CongestionKey, CongestionModel, RttModel, SimTime};
+use bb_topology::{AsClass, AsId, Topology};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::Serialize;
+
+/// Probe campaign configuration.
+#[derive(Debug, Clone, Serialize)]
+pub struct ProbeConfig {
+    pub seed: u64,
+    /// Probe rounds (the paper's campaign: 10/day for 10 months; scale this
+    /// down while keeping day-time coverage).
+    pub rounds: usize,
+    /// Hours between rounds (co-prime with 24 sweeps the clock).
+    pub round_spacing_h: f64,
+    /// Pings per probe (paper: 5; we take the min).
+    pub pings: usize,
+}
+
+impl Default for ProbeConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0x_5eed_cafe,
+            rounds: 20,
+            round_spacing_h: 5.0,
+            pings: 5,
+        }
+    }
+}
+
+/// One ⟨City, AS⟩ vantage point.
+#[derive(Debug, Clone, Serialize)]
+pub struct VantagePoint {
+    pub asn: AsId,
+    pub city: CityId,
+    pub country: CountryIdx,
+    /// APNIC-style user weight (millions) for aggregation.
+    pub users_m: f64,
+}
+
+/// One probe result for one tier.
+#[derive(Debug, Clone, Serialize)]
+pub struct TierProbe {
+    pub vp_index: usize,
+    pub tier: Tier,
+    pub time: SimTime,
+    /// Min of the round's pings, ms.
+    pub rtt_ms: f64,
+    /// Traceroute-inferred provider ingress.
+    pub ingress_city: CityId,
+    /// Distance from the VP to the ingress, km (the §3.3 "enter within
+    /// 400 km" statistic).
+    pub ingress_distance_km: f64,
+    /// Intermediate ASes between the VP's AS and the provider.
+    pub intermediate_ases: usize,
+}
+
+/// Enumerate ⟨City, AS⟩ vantage points over all eyeball ASes, shuffled
+/// deterministically (the daily rotation).
+pub fn select_vantage_points(topo: &Topology, seed: u64) -> Vec<VantagePoint> {
+    let mut vps = Vec::new();
+    for eye in topo.ases_of_class(AsClass::Eyeball) {
+        let country = eye.home_country.expect("eyeballs have home countries");
+        for &city in &eye.footprint {
+            let users_m = topo.atlas.city_users_m(city) * eye.user_share;
+            if users_m <= 0.0 {
+                continue;
+            }
+            vps.push(VantagePoint {
+                asn: eye.id,
+                city,
+                country,
+                users_m,
+            });
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    vps.shuffle(&mut rng);
+    vps
+}
+
+/// Probe both tiers from every vantage point across the campaign rounds.
+pub fn probe_tiers(
+    topo: &Topology,
+    provider: &Provider,
+    premium: &TierDeployment,
+    standard: &TierDeployment,
+    vps: &[VantagePoint],
+    congestion: &CongestionModel,
+    cfg: &ProbeConfig,
+) -> Vec<TierProbe> {
+    let rtt_model = RttModel::default();
+    let mut out = Vec::new();
+
+    for (vi, vp) in vps.iter().enumerate() {
+        let lastmile = CongestionKey::LastMile(0x_caa0_0000 | vi as u64);
+        for (tier, dep) in [(Tier::Premium, premium), (Tier::Standard, standard)] {
+            let Some(tp) = dep.reach(topo, provider, vp.asn, vp.city) else {
+                continue;
+            };
+            let ingress_distance_km = topo
+                .atlas
+                .city(tp.entry_city)
+                .location
+                .distance_km(&topo.atlas.city(vp.city).location);
+
+            for round in 0..cfg.rounds {
+                let t = SimTime::from_hours(round as f64 * cfg.round_spacing_h);
+                let det = path_rtt_ms(topo, congestion, &tp.path, Some(lastmile), t)
+                    + 2.0 * tp.wan_ms;
+                let mut rng = StdRng::seed_from_u64(
+                    cfg.seed ^ (vi as u64) << 24 ^ (round as u64) << 2 ^ tier as u64,
+                );
+                let rtt_ms = sample_min_rtt(det, &rtt_model, cfg.pings, &mut rng);
+                out.push(TierProbe {
+                    vp_index: vi,
+                    tier,
+                    time: t,
+                    rtt_ms,
+                    ingress_city: tp.entry_city,
+                    ingress_distance_km,
+                    intermediate_ases: tp.intermediate_ases,
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bb_cdn::{build_provider, ProviderConfig};
+    use bb_netsim::CongestionConfig;
+    use bb_topology::{generate, TopologyConfig};
+
+    fn campaign() -> (Topology, Provider, Vec<VantagePoint>, Vec<TierProbe>) {
+        let mut topo = generate(&TopologyConfig::small(101));
+        let provider = build_provider(&mut topo, &ProviderConfig::google_like(10));
+        let (us, _) = bb_geo::country::by_code("US").unwrap();
+        let us_metro = topo.atlas.main_metro(us).id;
+        let dc = if provider.has_pop(us_metro) {
+            us_metro
+        } else {
+            provider.pops[0]
+        };
+        let premium = TierDeployment::deploy(&topo, &provider, dc, Tier::Premium);
+        let standard = TierDeployment::deploy(&topo, &provider, dc, Tier::Standard);
+        let vps = select_vantage_points(&topo, 7);
+        let congestion = CongestionModel::new(10, CongestionConfig::default());
+        let cfg = ProbeConfig {
+            rounds: 3,
+            ..Default::default()
+        };
+        let probes = probe_tiers(&topo, &provider, &premium, &standard, &vps, &congestion, &cfg);
+        (topo, provider, vps, probes)
+    }
+
+    #[test]
+    fn vantage_points_span_many_countries() {
+        let (topo, _, vps, _) = campaign();
+        let countries: std::collections::HashSet<_> = vps.iter().map(|v| v.country).collect();
+        assert!(countries.len() >= topo.atlas.countries.len() / 2);
+    }
+
+    #[test]
+    fn both_tiers_probed() {
+        let (_, _, _, probes) = campaign();
+        let prem = probes.iter().filter(|p| p.tier == Tier::Premium).count();
+        let std_ = probes.iter().filter(|p| p.tier == Tier::Standard).count();
+        assert!(prem > 0 && std_ > 0);
+    }
+
+    #[test]
+    fn standard_ingress_is_at_datacenter_distance() {
+        // Standard-tier probes must enter at the DC, so their ingress
+        // distance equals VP→DC distance — usually far.
+        let (_, _, _, probes) = campaign();
+        let std_far = probes
+            .iter()
+            .filter(|p| p.tier == Tier::Standard && p.ingress_distance_km > 400.0)
+            .count();
+        let std_total = probes.iter().filter(|p| p.tier == Tier::Standard).count();
+        assert!(std_far * 10 >= std_total * 6, "{std_far}/{std_total}");
+    }
+
+    #[test]
+    fn premium_ingress_close_more_often_than_standard() {
+        let (_, _, _, probes) = campaign();
+        let frac_close = |tier: Tier| {
+            let (close, total) = probes.iter().filter(|p| p.tier == tier).fold(
+                (0usize, 0usize),
+                |(c, t), p| {
+                    (c + usize::from(p.ingress_distance_km <= 400.0), t + 1)
+                },
+            );
+            close as f64 / total.max(1) as f64
+        };
+        assert!(
+            frac_close(Tier::Premium) > frac_close(Tier::Standard),
+            "premium {:.2} vs standard {:.2}",
+            frac_close(Tier::Premium),
+            frac_close(Tier::Standard)
+        );
+    }
+
+    #[test]
+    fn rtts_are_sane() {
+        let (_, _, _, probes) = campaign();
+        for p in &probes {
+            assert!(p.rtt_ms > 0.0 && p.rtt_ms < 2000.0, "{}", p.rtt_ms);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let (_, _, _, a) = campaign();
+        let (_, _, _, b) = campaign();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.rtt_ms, y.rtt_ms);
+        }
+    }
+}
+
+#[cfg(test)]
+mod traceroute_tests {
+    use super::*;
+    use bb_cdn::{build_provider, ProviderConfig, TierDeployment};
+    use bb_topology::generate;
+    use bb_topology::TopologyConfig;
+
+    /// The probe's inferred ingress must agree with the traceroute view:
+    /// the first hop owned by the provider sits at the ingress city.
+    #[test]
+    fn ingress_matches_traceroute_first_provider_hop() {
+        let mut topo = generate(&TopologyConfig::small(107));
+        let provider = build_provider(&mut topo, &ProviderConfig::google_like(11));
+        let dc = provider.pops[0];
+        let prem = TierDeployment::deploy(&topo, &provider, dc, Tier::Premium);
+        let mut checked = 0;
+        for eye in topo.ases_of_class(AsClass::Eyeball).take(25) {
+            let Some(tp) = prem.reach(&topo, &provider, eye.id, eye.footprint[0]) else {
+                continue;
+            };
+            let hops = tp.path.traceroute(&topo);
+            let first_provider_hop = hops
+                .iter()
+                .find(|h| h.owner == provider.asn)
+                .expect("path enters the provider");
+            assert_eq!(
+                first_provider_hop.city, tp.entry_city,
+                "traceroute ingress disagrees with reach()"
+            );
+            // Hop latencies are non-decreasing and start at zero.
+            assert_eq!(hops[0].one_way_ms, 0.0);
+            for w in hops.windows(2) {
+                assert!(w[1].one_way_ms >= w[0].one_way_ms);
+            }
+            checked += 1;
+        }
+        assert!(checked > 10, "checked only {checked}");
+    }
+}

@@ -1,0 +1,360 @@
+//! Deterministic congestion processes.
+//!
+//! Every congestible entity — an interconnect, a destination metro's shared
+//! infrastructure, a client prefix's last mile — gets a utilization process
+//!
+//! ```text
+//! util(t) = base + diurnal_amplitude · D(local_hour(t)) + Σ active events
+//! ```
+//!
+//! where `D` peaks in the local evening and events arrive as a Poisson
+//! process with exponential durations. Everything about a key's process is
+//! derived from `(model seed, key)`, so two queries at the same time always
+//! agree, no matter the order of evaluation.
+//!
+//! The key structure encodes the paper's §3.1.1 observation mechanically:
+//! *metro and last-mile keys sit on every route to a client*, so when they
+//! degrade, all route options degrade together and performance-aware routing
+//! has nothing to exploit. Only link-keyed events (e.g. a congested PNI,
+//! §2.1/§2.2) are route-specific and steerable-around.
+
+use crate::time::SimTime;
+use bb_geo::CityId;
+use bb_topology::InterconnectId;
+use parking_lot::RwLock;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// What a congestion process is attached to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CongestionKey {
+    /// One interconnect between two ASes.
+    Link(InterconnectId),
+    /// Shared infrastructure of a destination metro (affects every route
+    /// that terminates in this city).
+    Metro(CityId),
+    /// A client prefix's access network (affects every route to the prefix).
+    LastMile(u64),
+}
+
+impl CongestionKey {
+    /// Stable 64-bit encoding used for seeding.
+    fn encode(&self) -> u64 {
+        match *self {
+            CongestionKey::Link(l) => 0x1000_0000_0000 | l.0 as u64,
+            CongestionKey::Metro(c) => 0x2000_0000_0000 | c.0 as u64,
+            CongestionKey::LastMile(p) => 0x3000_0000_0000 ^ p,
+        }
+    }
+}
+
+/// Tuning knobs for the congestion plane.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CongestionConfig {
+    /// Simulated horizon; events are materialized across it.
+    pub horizon_min: f64,
+    /// Base utilization is drawn uniformly from this range per key.
+    pub base_util: (f64, f64),
+    /// Diurnal amplitude range per key.
+    pub diurnal_amp: (f64, f64),
+    /// Transient event rate per day for link keys.
+    pub link_events_per_day: f64,
+    /// Transient event rate per day for metro keys.
+    pub metro_events_per_day: f64,
+    /// Transient event rate per day for last-mile keys.
+    pub lastmile_events_per_day: f64,
+    /// Mean event duration, minutes (exponential).
+    pub event_duration_mean_min: f64,
+    /// Event severity (added utilization) range.
+    pub event_severity: (f64, f64),
+    /// Queueing-delay scale: delay = d0 · ρ² / (1 − ρ).
+    pub queue_d0_ms: f64,
+    /// Utilization cap (keeps the queueing curve finite).
+    pub max_util: f64,
+}
+
+impl Default for CongestionConfig {
+    fn default() -> Self {
+        Self {
+            horizon_min: 10.0 * 24.0 * 60.0,
+            base_util: (0.15, 0.55),
+            diurnal_amp: (0.05, 0.25),
+            link_events_per_day: 0.25,
+            metro_events_per_day: 0.10,
+            lastmile_events_per_day: 0.35,
+            event_duration_mean_min: 45.0,
+            event_severity: (0.25, 0.55),
+            queue_d0_ms: 1.0,
+            max_util: 0.97,
+        }
+    }
+}
+
+/// One transient congestion event.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CongestionEvent {
+    pub start_min: f64,
+    pub end_min: f64,
+    pub severity: f64,
+}
+
+#[derive(Debug, Clone)]
+struct KeyProcess {
+    base: f64,
+    amp: f64,
+    events: Vec<CongestionEvent>,
+}
+
+/// The congestion plane. Cheap to share by reference; processes are cached
+/// behind a lock.
+pub struct CongestionModel {
+    seed: u64,
+    cfg: CongestionConfig,
+    cache: RwLock<HashMap<u64, KeyProcess>>,
+}
+
+impl CongestionModel {
+    pub fn new(seed: u64, cfg: CongestionConfig) -> Self {
+        Self {
+            seed,
+            cfg,
+            cache: RwLock::new(HashMap::new()),
+        }
+    }
+
+    pub fn config(&self) -> &CongestionConfig {
+        &self.cfg
+    }
+
+    /// Utilization of `key` at time `t`, with the diurnal term phased to
+    /// `utc_offset_hours` local time.
+    pub fn utilization(&self, key: CongestionKey, utc_offset_hours: f64, t: SimTime) -> f64 {
+        let proc = self.process(key);
+        let local_h = t.local_hour(utc_offset_hours);
+        // Peaks at 20:00 local, troughs at 08:00.
+        let diurnal = 0.5 * (1.0 + ((local_h - 14.0) / 24.0 * std::f64::consts::TAU).sin());
+        let mut util = proc.base + proc.amp * diurnal;
+        for e in &proc.events {
+            if t.minutes() >= e.start_min && t.minutes() < e.end_min {
+                util += e.severity;
+            }
+        }
+        util.min(self.cfg.max_util)
+    }
+
+    /// Queueing delay implied by utilization at `t` (one direction, ms).
+    pub fn queueing_delay_ms(&self, key: CongestionKey, utc_offset_hours: f64, t: SimTime) -> f64 {
+        let rho = self.utilization(key, utc_offset_hours, t);
+        self.delay_for_util(rho)
+    }
+
+    /// The convex utilization→delay curve.
+    pub fn delay_for_util(&self, rho: f64) -> f64 {
+        let rho = rho.clamp(0.0, self.cfg.max_util);
+        self.cfg.queue_d0_ms * rho * rho / (1.0 - rho)
+    }
+
+    /// Whether a transient event is active on `key` at `t`.
+    pub fn event_active(&self, key: CongestionKey, t: SimTime) -> bool {
+        self.process(key)
+            .events
+            .iter()
+            .any(|e| t.minutes() >= e.start_min && t.minutes() < e.end_min)
+    }
+
+    /// All events of a key (for analysis / tests).
+    pub fn events(&self, key: CongestionKey) -> Vec<CongestionEvent> {
+        self.process(key).events.clone()
+    }
+
+    fn process(&self, key: CongestionKey) -> KeyProcess {
+        let code = key.encode();
+        if let Some(p) = self.cache.read().get(&code) {
+            return p.clone();
+        }
+        let p = self.materialize(key);
+        self.cache.write().entry(code).or_insert(p.clone());
+        p
+    }
+
+    fn materialize(&self, key: CongestionKey) -> KeyProcess {
+        let code = key.encode();
+        let mut rng = StdRng::seed_from_u64(splitmix(self.seed ^ code));
+        let base = rng.gen_range(self.cfg.base_util.0..self.cfg.base_util.1);
+        let amp = rng.gen_range(self.cfg.diurnal_amp.0..self.cfg.diurnal_amp.1);
+        let rate_per_day = match key {
+            CongestionKey::Link(_) => self.cfg.link_events_per_day,
+            CongestionKey::Metro(_) => self.cfg.metro_events_per_day,
+            CongestionKey::LastMile(_) => self.cfg.lastmile_events_per_day,
+        };
+        let mut events = Vec::new();
+        if rate_per_day > 0.0 {
+            let mean_gap_min = 24.0 * 60.0 / rate_per_day;
+            let mut t = exp_sample(&mut rng, mean_gap_min);
+            while t < self.cfg.horizon_min {
+                let dur = exp_sample(&mut rng, self.cfg.event_duration_mean_min).max(1.0);
+                let sev = rng.gen_range(self.cfg.event_severity.0..self.cfg.event_severity.1);
+                events.push(CongestionEvent {
+                    start_min: t,
+                    end_min: t + dur,
+                    severity: sev,
+                });
+                t += dur + exp_sample(&mut rng, mean_gap_min);
+            }
+        }
+        KeyProcess { base, amp, events }
+    }
+}
+
+fn exp_sample(rng: &mut StdRng, mean: f64) -> f64 {
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    -mean * u.ln()
+}
+
+/// SplitMix64 finalizer: decorrelates sequential key codes.
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> CongestionModel {
+        CongestionModel::new(42, CongestionConfig::default())
+    }
+
+    #[test]
+    fn deterministic_across_instances_and_query_order() {
+        let a = model();
+        let b = model();
+        let k1 = CongestionKey::Link(InterconnectId(7));
+        let k2 = CongestionKey::Metro(CityId(3));
+        let t = SimTime::from_hours(30.0);
+        // Query in different orders.
+        let a2 = a.utilization(k2, 1.0, t);
+        let a1 = a.utilization(k1, 1.0, t);
+        let b1 = b.utilization(k1, 1.0, t);
+        let b2 = b.utilization(k2, 1.0, t);
+        assert_eq!(a1, b1);
+        assert_eq!(a2, b2);
+    }
+
+    #[test]
+    fn different_keys_differ() {
+        let m = model();
+        let t = SimTime::from_hours(5.0);
+        let u1 = m.utilization(CongestionKey::Link(InterconnectId(1)), 0.0, t);
+        let u2 = m.utilization(CongestionKey::Link(InterconnectId(2)), 0.0, t);
+        assert_ne!(u1, u2);
+    }
+
+    #[test]
+    fn utilization_bounded() {
+        let m = model();
+        for i in 0..50 {
+            for h in 0..48 {
+                let u = m.utilization(
+                    CongestionKey::LastMile(i),
+                    5.5,
+                    SimTime::from_hours(h as f64),
+                );
+                assert!((0.0..=0.97).contains(&u), "got {u}");
+            }
+        }
+    }
+
+    #[test]
+    fn diurnal_peaks_in_local_evening() {
+        // With events disabled, 20:00 local must beat 08:00 local.
+        let cfg = CongestionConfig {
+            link_events_per_day: 0.0,
+            metro_events_per_day: 0.0,
+            lastmile_events_per_day: 0.0,
+            ..Default::default()
+        };
+        let m = CongestionModel::new(7, cfg);
+        let k = CongestionKey::Metro(CityId(0));
+        let evening = m.utilization(k, 0.0, SimTime::from_hours(20.0));
+        let morning = m.utilization(k, 0.0, SimTime::from_hours(8.0));
+        assert!(evening > morning, "evening {evening} vs morning {morning}");
+    }
+
+    #[test]
+    fn events_raise_utilization() {
+        let m = model();
+        // Find a key with at least one event.
+        let key = (0..200)
+            .map(CongestionKey::LastMile)
+            .find(|&k| !m.events(k).is_empty())
+            .expect("some key must have events at default rates");
+        let e = m.events(key)[0];
+        let during = SimTime::from_minutes((e.start_min + e.end_min) / 2.0);
+        let before = SimTime::from_minutes((e.start_min - 1.0).max(0.0));
+        assert!(m.event_active(key, during));
+        // Compare at the same local hour modulo small diurnal drift: severity
+        // (≥0.25) dwarfs any diurnal delta over one minute.
+        assert!(
+            m.utilization(key, 0.0, during) > m.utilization(key, 0.0, before),
+            "event must raise utilization"
+        );
+    }
+
+    #[test]
+    fn queueing_curve_is_monotone_and_convex() {
+        let m = model();
+        let mut prev = -1.0;
+        let mut prev_slope = 0.0;
+        for i in 0..=90 {
+            let rho = i as f64 / 100.0;
+            let d = m.delay_for_util(rho);
+            assert!(d >= prev);
+            if i > 0 {
+                let slope = d - prev;
+                assert!(slope >= prev_slope - 1e-9, "convexity at rho={rho}");
+                prev_slope = slope;
+            }
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn delay_magnitudes_are_sane() {
+        let m = model();
+        assert!(m.delay_for_util(0.3) < 0.2);
+        assert!(m.delay_for_util(0.5) < 1.0);
+        assert!(m.delay_for_util(0.95) > 10.0);
+    }
+
+    #[test]
+    fn events_respect_horizon() {
+        let m = model();
+        for i in 0..50 {
+            for e in m.events(CongestionKey::LastMile(i)) {
+                assert!(e.start_min < m.config().horizon_min);
+                assert!(e.end_min > e.start_min);
+            }
+        }
+    }
+
+    #[test]
+    fn event_rate_roughly_matches_config() {
+        let m = model();
+        let days = m.config().horizon_min / (24.0 * 60.0);
+        let n_keys = 300;
+        let total: usize = (0..n_keys)
+            .map(|i| m.events(CongestionKey::LastMile(i)).len())
+            .sum();
+        let rate = total as f64 / (n_keys as f64 * days);
+        let expect = m.config().lastmile_events_per_day;
+        assert!(
+            (rate - expect).abs() < expect * 0.3,
+            "rate {rate} vs configured {expect}"
+        );
+    }
+}

@@ -1,0 +1,87 @@
+//! Throughput model for the paper's goodput comparison (§4 footnote 3:
+//! "We used Speedchecker to measure goodput of 10MB downloads from Google's
+//! Premium and Standard Tiers and saw little difference").
+//!
+//! We use a Mathis-style TCP model: steady-state throughput is
+//! `MSS / (RTT · √p)` (with constant ≈1.22), capped by the client's access
+//! rate. Loss probability `p` has a small floor plus a term that grows as a
+//! bottleneck's utilization approaches saturation.
+
+/// TCP maximum segment size assumed by the model, bytes.
+pub const MSS_BYTES: f64 = 1460.0;
+
+/// Loss-rate floor on a clean path.
+pub const BASE_LOSS: f64 = 1e-4;
+
+/// Loss probability implied by a bottleneck utilization.
+pub fn loss_probability(bottleneck_util: f64) -> f64 {
+    let overload = (bottleneck_util - 0.90).max(0.0);
+    BASE_LOSS + overload * overload * 2.0
+}
+
+/// Steady-state goodput in Mbps for a transfer over a path with the given
+/// RTT and worst (bottleneck) utilization, capped by `access_mbps`.
+pub fn goodput_mbps(rtt_ms: f64, bottleneck_util: f64, access_mbps: f64) -> f64 {
+    assert!(rtt_ms > 0.0);
+    let p = loss_probability(bottleneck_util);
+    let rtt_s = rtt_ms / 1000.0;
+    let mathis_bps = 1.22 * MSS_BYTES * 8.0 / (rtt_s * p.sqrt());
+    (mathis_bps / 1e6).min(access_mbps)
+}
+
+/// Time to download `bytes` at the modeled goodput plus one RTT of setup,
+/// seconds. Used for the 10 MB-download comparison.
+pub fn transfer_time_s(bytes: f64, rtt_ms: f64, bottleneck_util: f64, access_mbps: f64) -> f64 {
+    let gp = goodput_mbps(rtt_ms, bottleneck_util, access_mbps);
+    rtt_ms / 1000.0 + (bytes * 8.0 / 1e6) / gp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_short_path_hits_access_cap() {
+        // 20 ms RTT, clean path: Mathis gives ~71 Mbps; with a 50 Mbps
+        // access line the cap binds.
+        let gp = goodput_mbps(20.0, 0.3, 50.0);
+        assert_eq!(gp, 50.0);
+    }
+
+    #[test]
+    fn long_rtt_reduces_goodput() {
+        let short = goodput_mbps(20.0, 0.3, 1000.0);
+        let long = goodput_mbps(200.0, 0.3, 1000.0);
+        assert!((short / long - 10.0).abs() < 1e-6, "inverse in RTT");
+    }
+
+    #[test]
+    fn saturation_reduces_goodput() {
+        let clean = goodput_mbps(50.0, 0.5, 1000.0);
+        let congested = goodput_mbps(50.0, 0.97, 1000.0);
+        assert!(congested < clean * 0.5, "{congested} vs {clean}");
+    }
+
+    #[test]
+    fn loss_floor_below_90pct_util() {
+        assert_eq!(loss_probability(0.0), BASE_LOSS);
+        assert_eq!(loss_probability(0.89), BASE_LOSS);
+        assert!(loss_probability(0.95) > BASE_LOSS);
+    }
+
+    #[test]
+    fn transfer_time_includes_setup_rtt() {
+        // Tiny transfer: dominated by the setup RTT.
+        let t = transfer_time_s(1.0, 100.0, 0.2, 100.0);
+        assert!(t >= 0.1);
+        // 10 MB at 50 Mbps ≈ 1.6 s.
+        let t10 = transfer_time_s(10e6, 20.0, 0.2, 50.0);
+        assert!((1.0..3.0).contains(&t10), "got {t10}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_rtt_rejected() {
+        goodput_mbps(0.0, 0.5, 100.0);
+    }
+}

@@ -1,0 +1,36 @@
+//! # bb-netsim — the performance plane
+//!
+//! Where `bb-bgp` decides *which* AS-level routes exist, this crate decides
+//! *how they perform*:
+//!
+//! * [`path`] realizes an AS-level path into a city-level waypoint sequence,
+//!   applying each AS's exit policy (hot-potato early exit vs late exit) at
+//!   every interconnection choice — the mechanism behind §2.1's "circuitous
+//!   routes" and §3.3.2's single-large-network effect;
+//! * [`congestion`] drives deterministic utilization processes per
+//!   interconnect, per destination metro, and per last-mile, with diurnal
+//!   swings and transient events. Destination-side keys are shared by *all*
+//!   routes to a client, producing §3.1.1's correlated degradation;
+//! * [`rtt`] turns a realized path plus the congestion state at time *t*
+//!   into an RTT sample, and models TCP MinRTT sampling;
+//! * [`goodput`] is a Mathis-style throughput model for the paper's
+//!   footnote-3 goodput comparison;
+//! * [`time`] holds the simulation clock (minutes) and the 15-minute
+//!   aggregation windows of §3.1.
+//!
+//! Everything is deterministic given the model seed; congestion processes
+//! are lazily materialized per key and cached.
+
+pub mod congestion;
+pub mod failure;
+pub mod goodput;
+pub mod path;
+pub mod rtt;
+pub mod time;
+
+pub use congestion::{CongestionConfig, CongestionKey, CongestionModel};
+pub use failure::{FailureConfig, FailureKey, FailureModel, Outage};
+pub use goodput::goodput_mbps;
+pub use path::{realize_path, RealizeSpec, RealizedPath, Segment, TracerouteHop};
+pub use rtt::{path_base_rtt_ms, path_rtt_ms, sample_min_rtt, RttModel};
+pub use time::{SimTime, Window, WINDOW_MINUTES};

@@ -1,0 +1,200 @@
+//! RTT assembly: propagation + queueing + last mile + measurement noise.
+//!
+//! An RTT sample over a realized path at time `t` is
+//!
+//! ```text
+//! rtt(t) = 2·propagation + Σ_links queue(link, t) + queue(metro(dst), t)
+//!          + queue(lastmile, t) + per-hop router cost + access delay + noise
+//! ```
+//!
+//! Queueing terms are counted once per entity (bottleneck queues form in the
+//! congested direction; we don't model direction asymmetry). TCP's MinRTT
+//! over a session takes the minimum of several samples, which strips most of
+//! the noise but none of the standing queueing — matching how the §3.1
+//! dataset (TCP MinRTT) still sees congestion.
+
+use crate::congestion::{CongestionKey, CongestionModel};
+use crate::path::RealizedPath;
+use crate::time::SimTime;
+use bb_topology::Topology;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Fixed per-AS-boundary router/processing cost, ms (both directions).
+pub const PER_HOP_MS: f64 = 0.25;
+
+/// Client access (DSL/cable/wireless serialization) baseline RTT cost, ms.
+pub const ACCESS_BASE_MS: f64 = 2.0;
+
+/// Knobs for RTT sampling.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RttModel {
+    /// Log-normal jitter sigma (per sample).
+    pub jitter_sigma: f64,
+    /// Median of the jitter distribution, ms.
+    pub jitter_median_ms: f64,
+}
+
+impl Default for RttModel {
+    fn default() -> Self {
+        Self {
+            jitter_sigma: 0.8,
+            jitter_median_ms: 1.0,
+        }
+    }
+}
+
+/// Deterministic part of a path's RTT at time `t` (no jitter), given the
+/// client's last-mile congestion key.
+pub fn path_rtt_ms(
+    topo: &Topology,
+    model: &CongestionModel,
+    path: &RealizedPath,
+    lastmile: Option<CongestionKey>,
+    t: SimTime,
+) -> f64 {
+    let mut rtt = path_base_rtt_ms(topo, path);
+
+    // Interconnect queueing.
+    for &l in &path.links {
+        let city = topo.link(l).city;
+        let offset = topo.atlas.city(city).region.utc_offset_hours();
+        rtt += model.queueing_delay_ms(CongestionKey::Link(l), offset, t);
+    }
+    // Destination metro queueing (shared by all routes ending there).
+    let final_city = path.final_city();
+    let offset = topo.atlas.city(final_city).region.utc_offset_hours();
+    rtt += model.queueing_delay_ms(CongestionKey::Metro(final_city), offset, t);
+    // Last mile (shared by all routes to this client prefix).
+    if let Some(lm) = lastmile {
+        rtt += model.queueing_delay_ms(lm, offset, t);
+    }
+    rtt
+}
+
+/// Congestion-free floor of a path's RTT: propagation + hop costs + access.
+pub fn path_base_rtt_ms(topo: &Topology, path: &RealizedPath) -> f64 {
+    2.0 * path.propagation_ms(topo) + PER_HOP_MS * path.hop_count() as f64 + ACCESS_BASE_MS
+}
+
+/// TCP MinRTT over `samples` probes: deterministic RTT plus the minimum of
+/// `samples` log-normal jitter draws.
+pub fn sample_min_rtt(
+    deterministic_rtt_ms: f64,
+    rtt_model: &RttModel,
+    samples: usize,
+    rng: &mut impl Rng,
+) -> f64 {
+    assert!(samples >= 1);
+    let mut min_jitter = f64::INFINITY;
+    for _ in 0..samples {
+        // Box-Muller normal from two uniforms keeps us off rand_distr.
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen::<f64>();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        let jitter = rtt_model.jitter_median_ms * (rtt_model.jitter_sigma * z).exp();
+        min_jitter = min_jitter.min(jitter);
+    }
+    deterministic_rtt_ms + min_jitter
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::congestion::CongestionConfig;
+    use crate::path::{realize_path, RealizeSpec};
+    use bb_bgp::{compute_routes, Announcement};
+    use bb_topology::{generate, AsClass, TopologyConfig, Topology};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn world() -> (Topology, RealizedPath) {
+        let topo = generate(&TopologyConfig::small(17));
+        let eye = topo.ases_of_class(AsClass::Eyeball).next().unwrap();
+        let origin = eye.id;
+        let dst_city = eye.footprint[0];
+        let table = compute_routes(&topo, &Announcement::full(&topo, origin));
+        let src = topo
+            .ases()
+            .iter()
+            .find(|a| a.id != origin && table.as_path(a.id).is_some_and(|p| p.len() >= 3))
+            .expect("some multi-hop source");
+        let path = table.as_path(src.id).unwrap();
+        let spec = RealizeSpec {
+            as_path: &path,
+            src_city: src.footprint[0],
+            dst_city: Some(dst_city),
+            first_link: None,
+            final_entry_links: None,
+        };
+        let p = realize_path(&topo, &spec);
+        (topo, p)
+    }
+
+    #[test]
+    fn base_rtt_includes_floor_terms() {
+        let (topo, p) = world();
+        let base = path_base_rtt_ms(&topo, &p);
+        assert!(base >= ACCESS_BASE_MS + PER_HOP_MS * p.hop_count() as f64);
+        assert!(base >= 2.0 * p.propagation_ms(&topo));
+    }
+
+    #[test]
+    fn congestion_only_adds() {
+        let (topo, p) = world();
+        let model = CongestionModel::new(1, CongestionConfig::default());
+        let base = path_base_rtt_ms(&topo, &p);
+        for h in [0.0, 6.0, 12.0, 20.0] {
+            let rtt = path_rtt_ms(&topo, &model, &p, Some(CongestionKey::LastMile(9)), SimTime::from_hours(h));
+            assert!(rtt >= base, "rtt {rtt} < base {base}");
+        }
+    }
+
+    #[test]
+    fn lastmile_key_shifts_rtt() {
+        let (topo, p) = world();
+        let model = CongestionModel::new(1, CongestionConfig::default());
+        let t = SimTime::from_hours(20.0);
+        let a = path_rtt_ms(&topo, &model, &p, Some(CongestionKey::LastMile(1)), t);
+        let b = path_rtt_ms(&topo, &model, &p, None, t);
+        assert!(a > b);
+    }
+
+    #[test]
+    fn min_rtt_decreases_with_more_samples() {
+        let rm = RttModel::default();
+        let mut rng = StdRng::seed_from_u64(5);
+        let avg = |n: usize, rng: &mut StdRng| {
+            (0..200)
+                .map(|_| sample_min_rtt(10.0, &rm, n, rng))
+                .sum::<f64>()
+                / 200.0
+        };
+        let one = avg(1, &mut rng);
+        let ten = avg(10, &mut rng);
+        assert!(ten < one, "min of 10 samples {ten} must beat 1 sample {one}");
+        assert!(ten >= 10.0, "jitter is non-negative");
+    }
+
+    #[test]
+    fn min_rtt_never_below_deterministic() {
+        let rm = RttModel::default();
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..100 {
+            assert!(sample_min_rtt(42.0, &rm, 5, &mut rng) >= 42.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_rtt_same_inputs_same_output() {
+        let (topo, p) = world();
+        let m1 = CongestionModel::new(3, CongestionConfig::default());
+        let m2 = CongestionModel::new(3, CongestionConfig::default());
+        let t = SimTime::from_hours(13.0);
+        let k = Some(CongestionKey::LastMile(2));
+        assert_eq!(
+            path_rtt_ms(&topo, &m1, &p, k, t),
+            path_rtt_ms(&topo, &m2, &p, k, t)
+        );
+    }
+}

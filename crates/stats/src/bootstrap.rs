@@ -1,0 +1,133 @@
+//! Bootstrap confidence intervals.
+//!
+//! Figure 1's shaded region is "the distribution of the lower and upper
+//! bounds of the confidence intervals around the performance difference".
+//! We compute per-group CIs for the median by the percentile bootstrap,
+//! with an explicit seed so the whole figure is reproducible.
+
+use crate::quantile::{median, quantile_sorted};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A two-sided confidence interval around a point estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConfidenceInterval {
+    pub lower: f64,
+    pub point: f64,
+    pub upper: f64,
+    /// Nominal coverage, e.g. 0.95.
+    pub level: f64,
+}
+
+impl ConfidenceInterval {
+    /// Width of the interval.
+    pub fn width(&self) -> f64 {
+        self.upper - self.lower
+    }
+
+    /// Whether the interval contains `x`.
+    pub fn contains(&self, x: f64) -> bool {
+        (self.lower..=self.upper).contains(&x)
+    }
+}
+
+/// Percentile-bootstrap CI for the median of `values`.
+///
+/// `resamples` controls the bootstrap replication count (the paper's scale
+/// would use thousands; 200 is plenty for figure shape). Returns `None` on
+/// empty input. For a single sample the interval is degenerate.
+pub fn bootstrap_median_ci(
+    values: &[f64],
+    level: f64,
+    resamples: usize,
+    seed: u64,
+) -> Option<ConfidenceInterval> {
+    let point = median(values)?;
+    if values.len() == 1 {
+        return Some(ConfidenceInterval {
+            lower: point,
+            point,
+            upper: point,
+            level,
+        });
+    }
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut medians = Vec::with_capacity(resamples);
+    let mut buf = vec![0.0; values.len()];
+    for _ in 0..resamples {
+        for slot in buf.iter_mut() {
+            *slot = values[rng.gen_range(0..values.len())];
+        }
+        buf.sort_by(|a, b| a.total_cmp(b));
+        medians.push(quantile_sorted(&buf, 0.5));
+    }
+    medians.sort_by(|a, b| a.total_cmp(b));
+
+    let alpha = (1.0 - level.clamp(0.0, 1.0)) / 2.0;
+    Some(ConfidenceInterval {
+        lower: quantile_sorted(&medians, alpha),
+        point,
+        upper: quantile_sorted(&medians, 1.0 - alpha),
+        level,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_returns_none() {
+        assert!(bootstrap_median_ci(&[], 0.95, 100, 1).is_none());
+    }
+
+    #[test]
+    fn single_sample_is_degenerate() {
+        let ci = bootstrap_median_ci(&[7.0], 0.95, 100, 1).unwrap();
+        assert_eq!(ci.lower, 7.0);
+        assert_eq!(ci.upper, 7.0);
+        assert_eq!(ci.width(), 0.0);
+    }
+
+    #[test]
+    fn interval_brackets_point_estimate() {
+        let data: Vec<f64> = (0..50).map(|i| (i as f64) * 0.1).collect();
+        let ci = bootstrap_median_ci(&data, 0.95, 300, 42).unwrap();
+        assert!(ci.lower <= ci.point);
+        assert!(ci.point <= ci.upper);
+        assert!(ci.contains(ci.point));
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let data: Vec<f64> = (0..30).map(|i| ((i * 13) % 17) as f64).collect();
+        let a = bootstrap_median_ci(&data, 0.95, 200, 7).unwrap();
+        let b = bootstrap_median_ci(&data, 0.95, 200, 7).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn more_data_tighter_interval() {
+        // Same underlying distribution; 10x the samples should shrink the CI.
+        let small: Vec<f64> = (0..20).map(|i| ((i * 7919) % 100) as f64).collect();
+        let large: Vec<f64> = (0..2000).map(|i| ((i * 7919) % 100) as f64).collect();
+        let ci_s = bootstrap_median_ci(&small, 0.95, 300, 3).unwrap();
+        let ci_l = bootstrap_median_ci(&large, 0.95, 300, 3).unwrap();
+        assert!(
+            ci_l.width() < ci_s.width(),
+            "large {} vs small {}",
+            ci_l.width(),
+            ci_s.width()
+        );
+    }
+
+    #[test]
+    fn wider_level_wider_interval() {
+        let data: Vec<f64> = (0..40).map(|i| ((i * 31) % 23) as f64).collect();
+        let ci_90 = bootstrap_median_ci(&data, 0.90, 400, 5).unwrap();
+        let ci_99 = bootstrap_median_ci(&data, 0.99, 400, 5).unwrap();
+        assert!(ci_99.width() >= ci_90.width());
+    }
+}

@@ -1,0 +1,162 @@
+//! Quantiles, weighted and unweighted.
+//!
+//! The weighted variants implement the "fraction of traffic" semantics the
+//! paper uses throughout §3.1: a sample's weight is its traffic volume, and
+//! the q-quantile is the smallest value v such that samples ≤ v carry at
+//! least a q-fraction of total weight.
+
+/// Unweighted quantile with linear interpolation between order statistics.
+///
+/// `q` is clamped to [0, 1]. Returns `None` on empty input. NaNs are
+/// rejected with a panic in debug builds and sorted last in release builds.
+pub fn quantile(values: &[f64], q: f64) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    debug_assert!(values.iter().all(|v| !v.is_nan()), "NaN in quantile input");
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    Some(quantile_sorted(&sorted, q))
+}
+
+/// Quantile of an already-sorted slice (ascending). Panics on empty input.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty());
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Median shortcut.
+pub fn median(values: &[f64]) -> Option<f64> {
+    quantile(values, 0.5)
+}
+
+/// Weighted quantile: smallest value v such that the cumulative weight of
+/// samples ≤ v reaches `q` of the total weight.
+///
+/// Items with non-positive weight are ignored. Returns `None` if no item has
+/// positive weight.
+///
+/// ```
+/// use bb_stats::weighted_quantile;
+/// // One heavy sample dominates: the median follows the weight.
+/// let samples = [(10.0, 1.0), (20.0, 8.0), (30.0, 1.0)];
+/// assert_eq!(weighted_quantile(&samples, 0.5), Some(20.0));
+/// assert_eq!(weighted_quantile(&[], 0.5), None);
+/// ```
+pub fn weighted_quantile(items: &[(f64, f64)], q: f64) -> Option<f64> {
+    let mut pairs: Vec<(f64, f64)> = items.iter().copied().filter(|&(_, w)| w > 0.0).collect();
+    if pairs.is_empty() {
+        return None;
+    }
+    debug_assert!(
+        pairs.iter().all(|(v, _)| !v.is_nan()),
+        "NaN in weighted_quantile input"
+    );
+    pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let total: f64 = pairs.iter().map(|&(_, w)| w).sum();
+    let q = q.clamp(0.0, 1.0);
+    let target = q * total;
+    let mut cum = 0.0;
+    for &(v, w) in &pairs {
+        cum += w;
+        if cum >= target {
+            return Some(v);
+        }
+    }
+    Some(pairs.last().unwrap().0)
+}
+
+/// Weighted median shortcut.
+pub fn weighted_median(items: &[(f64, f64)]) -> Option<f64> {
+    weighted_quantile(items, 0.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_inputs_return_none() {
+        assert!(quantile(&[], 0.5).is_none());
+        assert!(weighted_quantile(&[], 0.5).is_none());
+        assert!(weighted_quantile(&[(1.0, 0.0)], 0.5).is_none());
+    }
+
+    #[test]
+    fn single_value() {
+        assert_eq!(quantile(&[42.0], 0.0), Some(42.0));
+        assert_eq!(quantile(&[42.0], 0.5), Some(42.0));
+        assert_eq!(quantile(&[42.0], 1.0), Some(42.0));
+    }
+
+    #[test]
+    fn median_of_odd_and_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), Some(2.5));
+    }
+
+    #[test]
+    fn interpolation_between_order_statistics() {
+        // 0.25 quantile of [0, 10]: position 0.25 -> 2.5
+        let v = quantile(&[0.0, 10.0], 0.25).unwrap();
+        assert!((v - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_extremes_are_min_max() {
+        let data = [5.0, -3.0, 7.0, 1.0];
+        assert_eq!(quantile(&data, 0.0), Some(-3.0));
+        assert_eq!(quantile(&data, 1.0), Some(7.0));
+    }
+
+    #[test]
+    fn q_is_clamped() {
+        let data = [1.0, 2.0];
+        assert_eq!(quantile(&data, -3.0), Some(1.0));
+        assert_eq!(quantile(&data, 42.0), Some(2.0));
+    }
+
+    #[test]
+    fn weighted_median_follows_weight_not_count() {
+        // One heavy sample dominates many light ones.
+        let items = [(100.0, 10.0), (1.0, 0.1), (2.0, 0.1), (3.0, 0.1)];
+        assert_eq!(weighted_median(&items), Some(100.0));
+    }
+
+    #[test]
+    fn weighted_matches_unweighted_for_equal_weights() {
+        let values = [9.0, 1.0, 5.0, 3.0, 7.0];
+        let items: Vec<(f64, f64)> = values.iter().map(|&v| (v, 1.0)).collect();
+        // With step-function semantics the weighted median of 5 equal
+        // weights is the 3rd order statistic.
+        assert_eq!(weighted_median(&items), Some(5.0));
+        assert_eq!(median(&values), Some(5.0));
+    }
+
+    #[test]
+    fn weighted_quantile_is_monotone_in_q() {
+        let items: Vec<(f64, f64)> = (0..100).map(|i| (i as f64, 1.0 + (i % 7) as f64)).collect();
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..=20 {
+            let q = i as f64 / 20.0;
+            let v = weighted_quantile(&items, q).unwrap();
+            assert!(v >= prev, "q={q}: {v} < {prev}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn negative_weights_ignored() {
+        let items = [(1.0, -5.0), (2.0, 1.0)];
+        assert_eq!(weighted_median(&items), Some(2.0));
+    }
+}

@@ -1,0 +1,203 @@
+//! ASCII rendering of figures for the `repro` binary.
+//!
+//! The reproduction harness prints each paper figure as a fixed-size text
+//! chart so results can be eyeballed in a terminal and diffed across runs.
+
+use crate::cdf::{Ccdf, Cdf};
+
+/// One named line on a chart.
+pub struct Series<'a> {
+    pub label: &'a str,
+    /// (x, y) points, y in [0, 1] for distribution charts.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Render one or more CDF-like series into a text chart.
+///
+/// `x_range` clips the x-axis (the paper clips Fig 1/2 to ±10 ms). The chart
+/// is `width` columns by `height` rows of plotting area plus axes.
+pub fn render_distributions(
+    title: &str,
+    x_label: &str,
+    series: &[Series<'_>],
+    x_range: (f64, f64),
+    width: usize,
+    height: usize,
+) -> String {
+    let (x_lo, x_hi) = x_range;
+    assert!(x_hi > x_lo);
+    let markers = ['*', '+', 'o', 'x', '#', '@'];
+
+    // grid[row][col]; row 0 is the top (y = 1.0).
+    let mut grid = vec![vec![' '; width]; height];
+
+    for (si, s) in series.iter().enumerate() {
+        let marker = markers[si % markers.len()];
+        // For every column, find the series value at that x (step function:
+        // last point with x <= column x, interpolating the staircase).
+        let mut pts: Vec<(f64, f64)> = s.points.clone();
+        pts.sort_by(|a, b| a.0.total_cmp(&b.0));
+        if pts.is_empty() {
+            continue;
+        }
+        for (col, cell_x) in (0..width).map(|c| {
+            let frac = (c as f64 + 0.5) / width as f64;
+            (c, x_lo + frac * (x_hi - x_lo))
+        }) {
+            let y = step_value(&pts, cell_x);
+            let row = ((1.0 - y.clamp(0.0, 1.0)) * (height - 1) as f64).round() as usize;
+            let cell = &mut grid[row.min(height - 1)][col];
+            // Later series overwrite blanks but not earlier series' marks,
+            // so overlapping lines stay visible.
+            if *cell == ' ' {
+                *cell = marker;
+            }
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    for (ri, row) in grid.iter().enumerate() {
+        let y_tick = 1.0 - ri as f64 / (height - 1) as f64;
+        if ri % 2 == 0 {
+            out.push_str(&format!("{y_tick:5.2} |"));
+        } else {
+            out.push_str("      |");
+        }
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str("      +");
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    let lo_lab = format!("{x_lo:.0}");
+    let hi_lab = format!("{x_hi:.0}");
+    let pad = width.saturating_sub(lo_lab.len() + hi_lab.len());
+    out.push_str(&format!("       {lo_lab}{}{hi_lab}\n", " ".repeat(pad)));
+    out.push_str(&format!("       {x_label}\n"));
+    for (si, s) in series.iter().enumerate() {
+        out.push_str(&format!("       [{}] {}\n", markers[si % markers.len()], s.label));
+    }
+    out
+}
+
+/// Value of a non-decreasing step function defined by sorted `pts` at `x`
+/// (0 before the first point, last y after the last).
+fn step_value(pts: &[(f64, f64)], x: f64) -> f64 {
+    match pts.partition_point(|&(px, _)| px <= x) {
+        0 => 0.0,
+        i => pts[i - 1].1,
+    }
+}
+
+/// Convenience: render a set of CDFs clipped to `x_range`.
+pub fn render_cdfs(
+    title: &str,
+    x_label: &str,
+    cdfs: &[(&str, &Cdf)],
+    x_range: (f64, f64),
+) -> String {
+    let series: Vec<Series<'_>> = cdfs
+        .iter()
+        .map(|(label, cdf)| Series {
+            label,
+            points: cdf.points().collect(),
+        })
+        .collect();
+    render_distributions(title, x_label, &series, x_range, 64, 17)
+}
+
+/// Convenience: render a set of CCDFs clipped to `x_range`.
+pub fn render_ccdfs(
+    title: &str,
+    x_label: &str,
+    ccdfs: &[(&str, &Ccdf)],
+    x_range: (f64, f64),
+) -> String {
+    let series: Vec<Series<'_>> = ccdfs
+        .iter()
+        .map(|(label, ccdf)| Series {
+            label,
+            points: {
+                // Prepend (x_lo, 1.0) so the staircase starts at the top.
+                let mut pts = vec![(f64::NEG_INFINITY, 1.0)];
+                pts.extend(ccdf.points());
+                pts
+            },
+        })
+        .collect();
+    render_distributions(title, x_label, &series, x_range, 64, 17)
+}
+
+/// Render a two-column table with a numeric bar, e.g. Fig 5's per-country
+/// medians.
+pub fn render_bar_table(title: &str, rows: &[(String, f64)], unit: &str) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    if rows.is_empty() {
+        out.push_str("  (no data)\n");
+        return out;
+    }
+    let max_abs = rows
+        .iter()
+        .map(|(_, v)| v.abs())
+        .fold(f64::MIN_POSITIVE, f64::max);
+    let name_w = rows.iter().map(|(n, _)| n.len()).max().unwrap().max(4);
+    for (name, v) in rows {
+        let bar_len = ((v.abs() / max_abs) * 24.0).round() as usize;
+        let bar: String = std::iter::repeat_n(if *v >= 0.0 { '+' } else { '-' }, bar_len)
+            .collect();
+        out.push_str(&format!("  {name:<name_w$} {v:>8.1} {unit} {bar}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_value_semantics() {
+        let pts = [(0.0, 0.25), (1.0, 0.5), (2.0, 1.0)];
+        assert_eq!(step_value(&pts, -1.0), 0.0);
+        assert_eq!(step_value(&pts, 0.0), 0.25);
+        assert_eq!(step_value(&pts, 1.5), 0.5);
+        assert_eq!(step_value(&pts, 99.0), 1.0);
+    }
+
+    #[test]
+    fn render_contains_labels_and_markers() {
+        let cdf = Cdf::from_values(&[1.0, 2.0, 3.0]).unwrap();
+        let s = render_cdfs("Fig X", "diff (ms)", &[("bgp", &cdf)], (0.0, 5.0));
+        assert!(s.contains("Fig X"));
+        assert!(s.contains("diff (ms)"));
+        assert!(s.contains("[*] bgp"));
+        assert!(s.contains('*'));
+    }
+
+    #[test]
+    fn render_two_series_uses_two_markers() {
+        let a = Cdf::from_values(&[1.0]).unwrap();
+        let b = Cdf::from_values(&[4.0]).unwrap();
+        let s = render_cdfs("t", "x", &[("a", &a), ("b", &b)], (0.0, 5.0));
+        assert!(s.contains("[*] a"));
+        assert!(s.contains("[+] b"));
+    }
+
+    #[test]
+    fn bar_table_renders_signs() {
+        let rows = vec![("India".to_string(), -20.0), ("Japan".to_string(), 15.0)];
+        let s = render_bar_table("Fig 5", &rows, "ms");
+        assert!(s.contains("India"));
+        assert!(s.contains("---"));
+        assert!(s.contains("+++"));
+    }
+
+    #[test]
+    fn empty_bar_table() {
+        let s = render_bar_table("t", &[], "ms");
+        assert!(s.contains("no data"));
+    }
+}

@@ -1,0 +1,85 @@
+//! Property-based tests of the topology generator across random seeds.
+
+use bb_topology::validate::validate;
+use bb_topology::{generate, AsClass, BusinessRel, TopologyConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every generated topology passes structural validation.
+    #[test]
+    fn generated_topologies_validate(seed in 0u64..100_000) {
+        let topo = generate(&TopologyConfig::small(seed));
+        prop_assert!(validate(&topo).is_ok());
+    }
+
+    /// Class structure invariants hold for any seed.
+    #[test]
+    fn class_structure(seed in 0u64..100_000) {
+        let topo = generate(&TopologyConfig::small(seed));
+        // Tier-1s never buy transit.
+        for t1 in topo.ases_of_class(AsClass::Tier1) {
+            prop_assert!(topo.providers_of(t1.id).is_empty(), "{} buys transit", t1.name);
+        }
+        // Eyeballs never sell transit.
+        for eye in topo.ases_of_class(AsClass::Eyeball) {
+            prop_assert!(
+                topo.customers_of(eye.id).is_empty(),
+                "{} has customers",
+                eye.name
+            );
+        }
+        // Transits buy only from tier-1s.
+        for tr in topo.ases_of_class(AsClass::Transit) {
+            for up in topo.providers_of(tr.id) {
+                prop_assert_eq!(topo.asys(up).class, AsClass::Tier1);
+            }
+        }
+    }
+
+    /// Relationship symmetry: a's view of b reverses b's view of a.
+    #[test]
+    fn relationship_symmetry(seed in 0u64..100_000) {
+        let topo = generate(&TopologyConfig::small(seed));
+        for link in topo.links().iter().take(300) {
+            let ab = topo.relationship(link.a, link.b).unwrap();
+            let ba = topo.relationship(link.b, link.a).unwrap();
+            prop_assert_eq!(ab.reversed(), ba);
+        }
+    }
+
+    /// Interconnects always sit in cities both endpoints occupy, and peer
+    /// capacity is positive.
+    #[test]
+    fn link_placement(seed in 0u64..100_000) {
+        let topo = generate(&TopologyConfig::small(seed));
+        for link in topo.links() {
+            prop_assert!(topo.asys(link.a).present_in(link.city));
+            prop_assert!(topo.asys(link.b).present_in(link.city));
+            prop_assert!(link.capacity_gbps > 0.0);
+        }
+    }
+
+    /// Tier-1 peering is a full mesh (clique property).
+    #[test]
+    fn tier1_clique(seed in 0u64..100_000) {
+        let topo = generate(&TopologyConfig::small(seed));
+        let tier1s: Vec<_> = topo.ases_of_class(AsClass::Tier1).map(|a| a.id).collect();
+        for (i, &a) in tier1s.iter().enumerate() {
+            for &b in &tier1s[i + 1..] {
+                prop_assert_eq!(topo.relationship(a, b), Some(BusinessRel::Peer));
+            }
+        }
+    }
+
+    /// Exit fidelity defaults are in range for every AS.
+    #[test]
+    fn exit_fidelity_defaults(seed in 0u64..100_000) {
+        let topo = generate(&TopologyConfig::small(seed));
+        for node in topo.ases() {
+            prop_assert!((0.0..=1.0).contains(&node.exit_fidelity));
+            prop_assert!(node.intra_inflation >= 1.0);
+        }
+    }
+}

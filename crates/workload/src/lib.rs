@@ -1,0 +1,24 @@
+//! # bb-workload — client populations and traffic
+//!
+//! Converts the topology's eyeball ASes into the measurable units of the
+//! paper's datasets:
+//!
+//! * **client prefixes** ([`prefix`], [`population`]) — a ⟨eyeball AS, city⟩
+//!   pair with a traffic weight; Fig 1's ⟨PoP, prefix⟩ unit and Fig 4's
+//!   weighted /24s both key on these,
+//! * **LDNS resolvers** ([`ldns`]) — the resolver-sharing model behind
+//!   §3.2.1's granularity limits: most clients use their ISP's resolver
+//!   (which aggregates clients across cities), a fraction use a public
+//!   resolver (which aggregates clients across the world), and EDNS
+//!   client-subnet is essentially absent (< 0.1 % of ASes, per the paper),
+//! * **diurnal traffic shaping** ([`traffic`]) for session volumes.
+
+pub mod ldns;
+pub mod population;
+pub mod prefix;
+pub mod traffic;
+
+pub use ldns::{Ldns, LdnsId, LdnsKind};
+pub use population::{generate_workload, Workload, WorkloadConfig};
+pub use prefix::{ClientPrefix, PrefixId};
+pub use traffic::diurnal_activity;

@@ -1,0 +1,31 @@
+//! Diurnal traffic shaping.
+
+/// Relative traffic activity at a given local hour: evening-peaked, never
+/// zero (the Internet sleeps lightly). Ranges over [0.3, 1.0].
+pub fn diurnal_activity(local_hour: f64) -> f64 {
+    let phase = (local_hour - 14.0) / 24.0 * std::f64::consts::TAU;
+    0.65 + 0.35 * phase.sin()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peaks_in_evening_troughs_in_morning() {
+        assert!(diurnal_activity(20.0) > diurnal_activity(8.0));
+        let peak = diurnal_activity(20.0);
+        assert!((peak - 1.0).abs() < 1e-9);
+        let trough = diurnal_activity(8.0);
+        assert!((trough - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn always_positive_and_bounded() {
+        for i in 0..96 {
+            let h = i as f64 / 4.0;
+            let a = diurnal_activity(h);
+            assert!((0.3..=1.0).contains(&a), "hour {h}: {a}");
+        }
+    }
+}

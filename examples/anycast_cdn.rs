@@ -1,0 +1,79 @@
+//! Operating an anycast CDN: catchments, misdirection, grooming.
+//!
+//! ```sh
+//! cargo run --release --example anycast_cdn
+//! ```
+//!
+//! Deploys an anycast prefix from every PoP of a Microsoft-like CDN,
+//! reports where clients actually land (catchment quality), then grooms a
+//! deliberately mis-configured announcement the way a CDN operator would
+//! (§3.2.2's "nurture").
+
+use beating_bgp::cdn::AnycastDeployment;
+use beating_bgp::core::ext::grooming;
+use beating_bgp::core::{Scale, Scenario, ScenarioConfig};
+use beating_bgp::netsim::path_base_rtt_ms;
+
+fn main() {
+    let scenario = Scenario::build(ScenarioConfig::microsoft(21, Scale::Test));
+    let topo = &scenario.topo;
+    let provider = &scenario.provider;
+    let sites = provider.pops.clone();
+    println!(
+        "CDN: {} front-end sites, {} client prefixes",
+        sites.len(),
+        scenario.workload.prefixes.len()
+    );
+
+    // --- Catchment census under a clean full announcement. ---
+    let dep = AnycastDeployment::deploy(topo, provider, &sites);
+    let mut optimal = 0.0;
+    let mut near = 0.0; // within 1000 km of the best site
+    let mut far = 0.0;
+    let mut total = 0.0;
+    let mut worst: Option<(f64, String, String)> = None;
+    for p in &scenario.workload.prefixes {
+        let Some(svc) = dep.serve(topo, provider, p.asn, p.city) else {
+            continue;
+        };
+        let nearest = provider.nearest_pop(topo, p.city);
+        let miss_km = topo
+            .atlas
+            .city(svc.front_end)
+            .location
+            .distance_km(&topo.atlas.city(nearest).location);
+        total += p.weight;
+        if svc.front_end == nearest {
+            optimal += p.weight;
+        } else if miss_km < 1000.0 {
+            near += p.weight;
+        } else {
+            far += p.weight;
+            let rtt = path_base_rtt_ms(topo, &svc.path) + 2.0 * svc.wan_extra_ms;
+            if worst.as_ref().is_none_or(|w| rtt > w.0) {
+                worst = Some((
+                    rtt,
+                    topo.atlas.city(p.city).name.clone(),
+                    topo.atlas.city(svc.front_end).name.clone(),
+                ));
+            }
+        }
+    }
+    println!(
+        "catchments: {:.1}% optimal site, {:.1}% near-optimal, {:.1}% misdirected >1000 km",
+        optimal / total * 100.0,
+        near / total * 100.0,
+        far / total * 100.0
+    );
+    if let Some((rtt, client, site)) = worst {
+        println!("worst misdirection: client {client} served from {site} at {rtt:.0} ms RTT");
+    }
+
+    // --- Grooming a sloppy announcement. ---
+    println!("\ngrooming an ungroomed prefix (operator loop):");
+    for step in grooming::run(&scenario, 42, 8) {
+        println!("{}", step.render_row());
+    }
+    let plain = grooming::groomed_baseline(&scenario);
+    println!("plain full announcement: {}", plain.render_row());
+}

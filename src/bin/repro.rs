@@ -1,0 +1,334 @@
+//! `repro` — regenerate every figure and statistic of the paper.
+//!
+//! ```text
+//! repro [EXPERIMENT] [--scale test|full|large] [--seed N]
+//!
+//! EXPERIMENT: all (default) | fig1 | fig2 | s311 | fig3 | fig4 | fig5 |
+//!             calib | goodput | xpeer | xgroom | xsites | xonenet | xsplit
+//! ```
+
+use beating_bgp::cdn::EgressController;
+use beating_bgp::core::ext::{
+    availability, ecs, fabric, grooming, hybrid, peering_reduction, single_network, site_count,
+    split_tcp,
+};
+use beating_bgp::core::{calibration, study_anycast, study_egress, study_tiers};
+use beating_bgp::core::{Scale, Scenario, ScenarioConfig};
+use beating_bgp::measure::{BeaconConfig, ProbeConfig, SprayConfig};
+
+struct Args {
+    experiment: String,
+    scale: Scale,
+    seed: u64,
+    csv_dir: Option<std::path::PathBuf>,
+}
+
+fn parse_args() -> Args {
+    let mut experiment = "all".to_string();
+    let mut scale = Scale::Full;
+    let mut seed = 42u64;
+    let mut csv_dir: Option<std::path::PathBuf> = None;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = match argv.get(i).map(String::as_str) {
+                    Some("test") => Scale::Test,
+                    Some("full") => Scale::Full,
+                    Some("large") => Scale::Large,
+                    other => {
+                        eprintln!("unknown scale {other:?}; use test|full|large");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--seed" => {
+                i += 1;
+                seed = argv
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--seed needs a number");
+                        std::process::exit(2);
+                    });
+            }
+            "--csv" => {
+                i += 1;
+                let dir = std::path::PathBuf::from(argv.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--csv needs a directory");
+                    std::process::exit(2);
+                }));
+                if let Err(e) = std::fs::create_dir_all(&dir) {
+                    eprintln!("--csv: cannot create {}: {e}", dir.display());
+                    std::process::exit(2);
+                }
+                csv_dir = Some(dir);
+            }
+            "--help" | "-h" => {
+                println!(
+                    "repro [EXPERIMENT] [--scale test|full|large] [--seed N] [--csv DIR]\n\
+                     experiments: all fig1 fig2 s311 fig3 fig4 fig5 calib goodput \
+                     xpeer xgroom xsites xonenet xsplit xablate xavail xhybrid xfabric xecs"
+                );
+                std::process::exit(0);
+            }
+            e => experiment = e.to_string(),
+        }
+        i += 1;
+    }
+    Args {
+        experiment,
+        scale,
+        seed,
+        csv_dir,
+    }
+}
+
+fn spray_cfg(scale: Scale) -> SprayConfig {
+    match scale {
+        Scale::Test => SprayConfig {
+            days: 1.0,
+            window_stride: 8,
+            ..Default::default()
+        },
+        Scale::Full => SprayConfig::default(),
+        // Keep the Large run's row count comparable by sampling windows
+        // more sparsely over the same ten days.
+        Scale::Large => SprayConfig {
+            window_stride: 8,
+            ..Default::default()
+        },
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let want = |name: &str| args.experiment == "all" || args.experiment == name;
+    let mut ran_any = false;
+
+    // --- Study A: Facebook-like world (fig1, fig2, s311, calib, xpeer) ---
+    if ["fig1", "fig2", "s311", "calib"].iter().any(|e| want(e)) {
+        ran_any = true;
+        eprintln!("[repro] building Facebook-like world…");
+        let scenario = Scenario::build(ScenarioConfig::facebook(args.seed, args.scale));
+        if want("calib") {
+            println!("{}", calibration::run(&scenario).render());
+        }
+        if ["fig1", "fig2", "s311"].iter().any(|e| want(e)) {
+            eprintln!("[repro] spraying sessions across egress routes…");
+            let study = study_egress::run(&scenario, &spray_cfg(args.scale));
+            if want("fig1") {
+                println!("{}", study.fig1.render());
+                if let Some(dir) = &args.csv_dir {
+                    beating_bgp::core::export::fig1_csv(&study.fig1, dir).expect("fig1 csv");
+                }
+            }
+            if want("fig2") {
+                println!("{}", study.fig2.render());
+                if let Some(dir) = &args.csv_dir {
+                    beating_bgp::core::export::fig2_csv(&study.fig2, dir).expect("fig2 csv");
+                }
+            }
+            if want("s311") {
+                println!("{}", study.episodes.render());
+                println!(
+                    "S3.1 bandwidth: alternate improves goodput >=10% for {:.1}% of traffic \
+                     (paper: \"qualitatively similar results for bandwidth\")\n",
+                    study.bandwidth_improvable * 100.0
+                );
+            }
+        }
+    }
+
+    // --- Study B: Microsoft-like world (fig3, fig4) ---
+    if ["fig3", "fig4"].iter().any(|e| want(e)) {
+        ran_any = true;
+        eprintln!("[repro] building Microsoft-like world…");
+        let scenario = Scenario::build(ScenarioConfig::microsoft(args.seed, args.scale));
+        eprintln!("[repro] running beacon campaign…");
+        let study = study_anycast::run(&scenario, &BeaconConfig::default());
+        if want("fig3") {
+            println!("{}", study.fig3.render());
+            if let Some(dir) = &args.csv_dir {
+                beating_bgp::core::export::fig3_csv(&study.fig3, dir).expect("fig3 csv");
+            }
+        }
+        if want("fig4") {
+            println!("{}", study.fig4.render());
+            if let Some(dir) = &args.csv_dir {
+                beating_bgp::core::export::fig4_csv(&study.fig4, dir).expect("fig4 csv");
+            }
+        }
+    }
+
+    // --- Study C: Google-like world (fig5, goodput, xonenet) ---
+    if ["fig5", "goodput", "xonenet"].iter().any(|e| want(e)) {
+        ran_any = true;
+        eprintln!("[repro] building Google-like world…");
+        let scenario = Scenario::build(ScenarioConfig::google(args.seed, args.scale));
+        if ["fig5", "goodput"].iter().any(|e| want(e)) {
+            eprintln!("[repro] probing Premium/Standard tiers…");
+            let study = study_tiers::run(&scenario, &ProbeConfig::default());
+            if want("fig5") {
+                println!("{}", study.fig5.render());
+                if let Some(dir) = &args.csv_dir {
+                    beating_bgp::core::export::fig5_csv(&study.fig5, dir).expect("fig5 csv");
+                }
+            }
+            if want("goodput") {
+                println!(
+                    "S4 goodput: weighted median 10MB transfer-time difference \
+                     (standard - premium): {:+.2} s\n",
+                    study.goodput_diff_s
+                );
+            }
+        }
+        if want("xonenet") {
+            println!("X-ONENET (§3.3.2): latency inflation vs single-network share");
+            for b in single_network::run(&scenario, None) {
+                println!("{}", b.render_row());
+            }
+            println!();
+        }
+    }
+
+    // --- Extensions on their own worlds ---
+    if want("xpeer") {
+        ran_any = true;
+        println!("X-PEER (§3.1.3): reduced peering footprint sweep");
+        let base = ScenarioConfig::facebook(args.seed, args.scale);
+        for step in peering_reduction::run(&base, &[0.05, 0.12, 0.3, 0.6, 1.1]) {
+            println!("{}", step.render_row());
+        }
+        println!();
+    }
+    if want("xgroom") {
+        ran_any = true;
+        println!("X-GROOM (§3.2.2): grooming an ungroomed anycast prefix");
+        let scenario = Scenario::build(ScenarioConfig::microsoft(args.seed, args.scale));
+        for step in grooming::run(&scenario, args.seed ^ 0x_9700, 12) {
+            println!("{}", step.render_row());
+        }
+        let baseline = grooming::groomed_baseline(&scenario);
+        println!("  fully-groomed baseline: {}", baseline.render_row());
+        println!();
+    }
+    if want("xsites") {
+        ran_any = true;
+        println!("X-SITES (§3.2.2): anycast latency vs number of sites");
+        let scenario = Scenario::build(ScenarioConfig::microsoft(args.seed, args.scale));
+        for p in site_count::run(&scenario, &[1, 2, 4, 8, 16, 32, 64]) {
+            println!("{}", p.render_row());
+        }
+        println!();
+    }
+    if want("xecs") {
+        ran_any = true;
+        println!("X-ECS (§3.2.1): Fig 4 vs ISP EDNS-Client-Subnet adoption");
+        let scenario = Scenario::build(ScenarioConfig::microsoft(args.seed, args.scale));
+        for p in ecs::run(
+            &scenario,
+            &BeaconConfig::default(),
+            &[0.0, 0.25, 0.5, 1.0],
+        ) {
+            println!("{}", p.render_row());
+        }
+        println!();
+    }
+    if want("xavail") {
+        ran_any = true;
+        let scenario = Scenario::build(ScenarioConfig::microsoft(args.seed, args.scale));
+        let r = availability::run(&scenario, args.seed ^ 0x_a1a, &availability::RecoveryConfig::default());
+        println!("{}", r.render());
+    }
+    if want("xhybrid") {
+        ran_any = true;
+        println!("X-HYBRID (§4): anycast vs DNS vs hybrid vs oracle");
+        let scenario = Scenario::build(ScenarioConfig::microsoft(args.seed, args.scale));
+        for s in hybrid::run(
+            &scenario,
+            &BeaconConfig::default(),
+            10.0,
+        ) {
+            println!("{}", s.render_row());
+        }
+        println!();
+    }
+    if want("xfabric") {
+        ran_any = true;
+        let scenario = Scenario::build(ScenarioConfig::facebook(args.seed, args.scale));
+        let r = fabric::run(&scenario, &spray_cfg(args.scale), &EgressController::default());
+        println!("{}", r.render());
+    }
+    if want("xablate") {
+        ran_any = true;
+        println!("X-ABLATE: modeling-mechanism ablations (quality deltas)");
+
+        // (1) Correlated congestion: without shared destination-side keys,
+        // performance-aware routing finds far more exploitable windows —
+        // the pre-2010 literature's world.
+        println!("  [correlated congestion]");
+        for (label, metro, lastmile, link) in
+            [("correlated (default)", 0.10, 0.35, 0.25), ("independent", 0.0, 0.0, 2.0)]
+        {
+            let mut cfg = ScenarioConfig::facebook(args.seed, args.scale);
+            cfg.congestion.metro_events_per_day = metro;
+            cfg.congestion.lastmile_events_per_day = lastmile;
+            cfg.congestion.link_events_per_day = link;
+            if label == "independent" {
+                // Early-literature world: long, severe, route-specific
+                // congestion episodes.
+                cfg.congestion.event_duration_mean_min = 90.0;
+                cfg.congestion.event_severity = (0.35, 0.7);
+            }
+            let scenario = Scenario::build(cfg);
+            let study = study_egress::run(&scenario, &spray_cfg(args.scale));
+            println!(
+                "    {label:<22} median-improvable>=5ms {:.1}%  windows-improvable {:.1}%  degrade-together {:.0}%",
+                study.fig1.frac_improvable_5ms * 100.0,
+                study.episodes.frac_windows_improvable * 100.0,
+                study.episodes.degrade_together * 100.0
+            );
+        }
+
+        // (2) Exit fidelity: perfectly geographic exits kill most anycast
+        // misdirection.
+        println!("  [exit fidelity]");
+        for (label, factor) in [("sloppy (default)", 0.72_f64), ("perfect geo", 1.0)] {
+            let mut cfg = ScenarioConfig::microsoft(args.seed, args.scale);
+            cfg.exit_fidelity_factor = factor;
+            let scenario = Scenario::build(cfg);
+            let study = study_anycast::run(
+                &scenario,
+                &BeaconConfig {
+                    rounds: 4,
+                    ..Default::default()
+                },
+            );
+            println!(
+                "    {label:<22} anycast within 10ms {:.1}%  tail>=100ms {:.1}%",
+                study.fig3.frac_within_10ms * 100.0,
+                study.fig3.frac_gt_100ms * 100.0
+            );
+        }
+        println!();
+    }
+    if want("xsplit") {
+        ran_any = true;
+        println!("X-SPLIT (§4): split-TCP backend comparison");
+        let scenario = Scenario::build(ScenarioConfig::google(args.seed, args.scale));
+        for bytes in [30e3, 300e3, 3e6] {
+            println!("{}", split_tcp::run(&scenario, bytes, None).render());
+        }
+    }
+
+    if !ran_any {
+        eprintln!(
+            "unknown experiment '{}' — try --help",
+            args.experiment
+        );
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,54 @@
+//! # beating-bgp
+//!
+//! A simulation-based reproduction of **"Beating BGP is Harder than we
+//! Thought"** (Arnold et al., HotNets '19).
+//!
+//! The paper reads three provider-scale measurement studies side by side
+//! and finds that performance-aware routing rarely beats plain BGP on
+//! latency. This workspace rebuilds the entire measurement world as a
+//! deterministic simulator — AS-level topology with business
+//! relationships, Gao-Rexford BGP with announcement grooming, a geographic
+//! latency + congestion plane, a content-provider substrate (PoPs, private
+//! WAN, anycast, DNS redirection, Edge-Fabric-style egress control), and
+//! the three measurement pipelines — and regenerates every figure and
+//! in-text statistic of the paper, plus the extension experiments its open
+//! questions call for.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use beating_bgp::core::{Scale, Scenario, ScenarioConfig};
+//! use beating_bgp::core::study_egress;
+//! use beating_bgp::measure::SprayConfig;
+//!
+//! // Build a small world and run the §3.1 egress study.
+//! let scenario = Scenario::build(ScenarioConfig::facebook(42, Scale::Test));
+//! let cfg = SprayConfig { days: 0.5, window_stride: 8, ..Default::default() };
+//! let study = study_egress::run(&scenario, &cfg);
+//! println!("{}", study.fig1.render());
+//! assert!(study.fig1.frac_bgp_good > 0.5); // BGP is hard to beat
+//! ```
+//!
+//! ## Crate map
+//!
+//! | re-export | crate | role |
+//! |---|---|---|
+//! | [`geo`] | `bb-geo` | coordinates, world atlas, fiber delay |
+//! | [`stats`] | `bb-stats` | weighted CDFs, quantiles, bootstrap CIs |
+//! | [`topology`] | `bb-topology` | AS graph with typed interconnects |
+//! | [`bgp`] | `bb-bgp` | Gao-Rexford propagation, decision process, RIBs |
+//! | [`netsim`] | `bb-netsim` | path realization, congestion, RTT, goodput |
+//! | [`workload`] | `bb-workload` | client prefixes, traffic, LDNS model |
+//! | [`cdn`] | `bb-cdn` | provider: PoPs, WAN, anycast, DNS, egress, tiers |
+//! | [`measure`] | `bb-measure` | spraying, beacons, vantage-point probes |
+//! | [`core`] | `bb-core` | the three studies + extensions + figures |
+
+pub use bb_bgp as bgp;
+pub use bb_cdn as cdn;
+pub use bb_core as core;
+pub use bb_geo as geo;
+pub use bb_measure as measure;
+pub use bb_netsim as netsim;
+pub use bb_stats as stats;
+pub use bb_topology as topology;
+pub use bb_workload as workload;

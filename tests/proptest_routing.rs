@@ -1,0 +1,123 @@
+//! Property-based tests of the routing core on randomized topologies.
+
+use beating_bgp::bgp::{compute_routes, provider_rib, Announcement};
+use beating_bgp::bgp::propagation::valley_free;
+use beating_bgp::topology::{generate, AsClass, TopologyConfig, Topology};
+use proptest::prelude::*;
+
+fn world(seed: u64) -> Topology {
+    generate(&TopologyConfig::small(seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every best path computed for any origin on any topology is
+    /// valley-free and terminates at the origin.
+    #[test]
+    fn paths_are_valley_free(seed in 0u64..5000, origin_pick in 0usize..40) {
+        let topo = world(seed);
+        let eyeballs: Vec<_> = topo.ases_of_class(AsClass::Eyeball).collect();
+        let origin = eyeballs[origin_pick % eyeballs.len()].id;
+        let table = compute_routes(&topo, &Announcement::full(&topo, origin));
+        for node in topo.ases() {
+            if let Some(path) = table.as_path(node.id) {
+                prop_assert!(valley_free(&topo, &path), "path {path:?}");
+                prop_assert_eq!(*path.last().unwrap(), origin);
+                prop_assert_eq!(path[0], node.id);
+            }
+        }
+    }
+
+    /// Full announcements reach every AS (the generator guarantees a
+    /// connected provider hierarchy).
+    #[test]
+    fn full_announcement_reaches_all(seed in 0u64..5000) {
+        let topo = world(seed);
+        let origin = topo.ases_of_class(AsClass::Eyeball).next().unwrap().id;
+        let table = compute_routes(&topo, &Announcement::full(&topo, origin));
+        prop_assert_eq!(table.reachable_count(), topo.as_count());
+    }
+
+    /// Withholding part of the announcement never improves any AS's route
+    /// (class can only worsen, path length only grow).
+    #[test]
+    fn withholding_is_monotone(seed in 0u64..5000, keep_every in 2usize..4) {
+        let topo = world(seed);
+        let origin = topo.ases_of_class(AsClass::Eyeball).next().unwrap().id;
+        let full = compute_routes(&topo, &Announcement::full(&topo, origin));
+
+        let mut partial_ann = Announcement::full(&topo, origin);
+        for (i, &(_, link)) in topo.adjacency(origin).iter().enumerate() {
+            if i % keep_every != 0 {
+                partial_ann.withhold_link(link);
+            }
+        }
+        if partial_ann.is_empty() {
+            return Ok(());
+        }
+        let partial = compute_routes(&topo, &partial_ann);
+        for (asn, route) in partial.routes() {
+            if asn == origin {
+                continue;
+            }
+            let f = full.route(asn).expect("full reaches everyone");
+            prop_assert!(
+                route.class > f.class
+                    || (route.class == f.class && route.path_len >= f.path_len),
+                "withholding improved {asn}: {:?} vs {:?}",
+                route,
+                f
+            );
+        }
+    }
+
+    /// Prepending everywhere by a constant shifts every first-hop length
+    /// but preserves reachability.
+    #[test]
+    fn uniform_prepend_preserves_reachability(seed in 0u64..5000, prepend in 1u32..5) {
+        let topo = world(seed);
+        let origin = topo.ases_of_class(AsClass::Eyeball).next().unwrap().id;
+        let mut ann = Announcement::full(&topo, origin);
+        let links: Vec<_> = ann.offers().map(|(l, _)| l).collect();
+        for l in links {
+            ann.prepend_link(l, prepend);
+        }
+        let table = compute_routes(&topo, &ann);
+        prop_assert_eq!(table.reachable_count(), topo.as_count());
+        // Direct neighbors carry the prepended length.
+        for nb in topo.neighbors(origin) {
+            let r = table.route(nb).unwrap();
+            if r.via == Some(origin) {
+                prop_assert_eq!(r.path_len, 1 + prepend);
+            }
+        }
+    }
+
+    /// The provider RIB is policy-sorted and only contains export-legal
+    /// routes.
+    #[test]
+    fn rib_is_sorted_and_legal(seed in 0u64..5000) {
+        let mut topo = world(seed);
+        let provider = beating_bgp::cdn::build_provider(
+            &mut topo,
+            &beating_bgp::cdn::ProviderConfig::facebook_like(seed),
+        );
+        let origin = topo.ases_of_class(AsClass::Eyeball).next().unwrap().id;
+        let table = compute_routes(&topo, &Announcement::full(&topo, origin));
+        for rib in provider_rib(&topo, provider.asn, &table) {
+            for w in rib.routes.windows(2) {
+                prop_assert!(
+                    (w[0].class, w[0].total_len) <= (w[1].class, w[1].total_len)
+                );
+            }
+            for route in &rib.routes {
+                // The neighbor must genuinely reach the origin.
+                prop_assert!(
+                    route.neighbor == origin || table.route(route.neighbor).is_some()
+                );
+                prop_assert!(route.total_len >= 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based tests on the statistics and performance-model substrates.
+
+use beating_bgp::geo::GeoPoint;
+use beating_bgp::netsim::{CongestionConfig, CongestionKey, CongestionModel, SimTime};
+use beating_bgp::stats::{weighted_quantile, Cdf};
+use proptest::prelude::*;
+
+proptest! {
+    /// Weighted quantiles are monotone in q and bounded by the data range.
+    #[test]
+    fn weighted_quantile_monotone(
+        values in prop::collection::vec((-1e4f64..1e4, 1e-6f64..10.0), 1..200),
+        qs in prop::collection::vec(0.0f64..1.0, 2..10),
+    ) {
+        let mut qs = qs;
+        qs.sort_by(|a, b| a.total_cmp(b));
+        let mut prev = f64::NEG_INFINITY;
+        for &q in &qs {
+            let v = weighted_quantile(&values, q).unwrap();
+            prop_assert!(v >= prev);
+            prev = v;
+        }
+        let lo = values.iter().map(|&(v, _)| v).fold(f64::INFINITY, f64::min);
+        let hi = values.iter().map(|&(v, _)| v).fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(prev >= lo && prev <= hi);
+    }
+
+    /// A CDF built from any weighted samples is a distribution function:
+    /// non-decreasing, 0-to-1, and value_at inverts fraction_leq.
+    #[test]
+    fn cdf_is_a_distribution(
+        values in prop::collection::vec((-1e4f64..1e4, 1e-6f64..10.0), 1..200),
+        probe in -1e4f64..1e4,
+    ) {
+        let cdf = Cdf::from_weighted(&values).unwrap();
+        let pts: Vec<(f64, f64)> = cdf.points().collect();
+        prop_assert!(pts.windows(2).all(|w| w[0].0 < w[1].0 && w[0].1 <= w[1].1));
+        prop_assert!((pts.last().unwrap().1 - 1.0).abs() < 1e-9);
+        let f = cdf.fraction_leq(probe);
+        prop_assert!((0.0..=1.0).contains(&f));
+        for p in [0.1, 0.5, 0.9] {
+            let v = cdf.value_at(p);
+            prop_assert!(cdf.fraction_leq(v) >= p - 1e-9);
+        }
+    }
+
+    /// Haversine distance is a metric on the sphere: symmetric, zero on the
+    /// diagonal, triangle inequality.
+    #[test]
+    fn haversine_is_a_metric(
+        a in (-85.0f64..85.0, -180.0f64..180.0),
+        b in (-85.0f64..85.0, -180.0f64..180.0),
+        c in (-85.0f64..85.0, -180.0f64..180.0),
+    ) {
+        let (pa, pb, pc) = (
+            GeoPoint::new(a.0, a.1),
+            GeoPoint::new(b.0, b.1),
+            GeoPoint::new(c.0, c.1),
+        );
+        let ab = pa.distance_km(&pb);
+        let ba = pb.distance_km(&pa);
+        prop_assert!((ab - ba).abs() < 1e-9);
+        prop_assert!(pa.distance_km(&pa) < 1e-9);
+        let (bc, ac) = (pb.distance_km(&pc), pa.distance_km(&pc));
+        prop_assert!(ac <= ab + bc + 1e-6, "triangle: {ac} > {ab} + {bc}");
+    }
+
+    /// Congestion utilization is always within bounds and deterministic.
+    #[test]
+    fn congestion_bounded_and_deterministic(
+        seed in 0u64..1000,
+        key in 0u64..10_000,
+        hour in 0.0f64..240.0,
+        offset in -12.0f64..14.0,
+    ) {
+        let m1 = CongestionModel::new(seed, CongestionConfig::default());
+        let m2 = CongestionModel::new(seed, CongestionConfig::default());
+        let k = CongestionKey::LastMile(key);
+        let t = SimTime::from_hours(hour);
+        let u1 = m1.utilization(k, offset, t);
+        let u2 = m2.utilization(k, offset, t);
+        prop_assert_eq!(u1, u2);
+        prop_assert!((0.0..=0.97).contains(&u1));
+        // Queueing delay is finite and non-negative.
+        let d = m1.queueing_delay_ms(k, offset, t);
+        prop_assert!(d.is_finite() && d >= 0.0);
+    }
+
+    /// Goodput is monotone: worse RTT or worse utilization never increases
+    /// throughput.
+    #[test]
+    fn goodput_monotone(
+        rtt in 1.0f64..500.0,
+        drtt in 0.0f64..100.0,
+        util in 0.0f64..0.97,
+        dutil in 0.0f64..0.4,
+    ) {
+        use beating_bgp::netsim::goodput_mbps;
+        let base = goodput_mbps(rtt, util, 1e9);
+        prop_assert!(goodput_mbps(rtt + drtt, util, 1e9) <= base + 1e-9);
+        prop_assert!(goodput_mbps(rtt, (util + dutil).min(0.999), 1e9) <= base + 1e-9);
+    }
+}
