@@ -13,7 +13,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Propagation scope attached to one offer (the community, in BGP terms).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Scope {
     /// Normal propagation: the neighbor re-exports per Gao-Rexford rules.
     Global,
@@ -24,7 +24,7 @@ pub enum Scope {
 }
 
 /// One announced interconnect: prepend count plus community scope.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Offer {
     pub prepend: u32,
     pub scope: Scope,

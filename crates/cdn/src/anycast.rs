@@ -9,10 +9,11 @@
 //! front-end location … it is known to not always pick nearby servers."
 
 use crate::provider::Provider;
-use bb_bgp::{compute_routes, Announcement, RoutingTable};
+use bb_bgp::{Announcement, RoutingTable};
 use bb_geo::CityId;
 use bb_netsim::{realize_path, RealizeSpec, RealizedPath};
 use bb_topology::{AsId, Topology};
+use std::sync::Arc;
 
 /// An anycast (or unicast) deployment: announcing sites plus the resulting
 /// routing state.
@@ -22,7 +23,9 @@ pub struct AnycastDeployment {
     /// Front-end cities announcing the prefix.
     pub sites: Vec<CityId>,
     pub announcement: Announcement,
-    pub table: RoutingTable,
+    /// Shared through the process-wide route cache: deployments with the
+    /// same announcement on the same topology hand out the same table.
+    pub table: Arc<RoutingTable>,
 }
 
 /// How one client reaches the deployment.
@@ -62,7 +65,7 @@ impl AnycastDeployment {
             sites.iter().all(|s| provider.has_pop(*s)),
             "sites must be provider PoPs"
         );
-        let table = compute_routes(topo, &announcement);
+        let table = bb_exec::cached_routes(topo, &announcement);
         AnycastDeployment {
             provider: provider.asn,
             sites: sites.to_vec(),

@@ -13,7 +13,7 @@
 
 use crate::anycast::route_into_provider;
 use crate::provider::Provider;
-use bb_bgp::{compute_routes, Announcement, RoutingTable};
+use bb_bgp::{Announcement, RoutingTable};
 use bb_geo::CityId;
 use bb_netsim::RealizedPath;
 use bb_topology::{AsId, Topology};
@@ -43,7 +43,8 @@ pub struct TierDeployment {
     pub tier: Tier,
     pub datacenter: CityId,
     pub announcement: Announcement,
-    pub table: RoutingTable,
+    /// Shared through the process-wide route cache.
+    pub table: std::sync::Arc<RoutingTable>,
 }
 
 /// How a vantage point reaches the VM over a tier.
@@ -79,7 +80,7 @@ impl TierDeployment {
                 ann
             }
         };
-        let table = compute_routes(topo, &announcement);
+        let table = bb_exec::cached_routes(topo, &announcement);
         TierDeployment {
             tier,
             datacenter,

@@ -15,7 +15,7 @@ use bb_cdn::EgressController;
 use bb_measure::{spray, SprayConfig, SprayDataset};
 use bb_stats::weighted_quantile;
 use serde::Serialize;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Study output.
 #[derive(Debug, Clone, Serialize)]
@@ -69,9 +69,10 @@ pub fn run(scenario: &Scenario, spray_cfg: &SprayConfig, controller: &EgressCont
 
 /// Evaluate the controller over an existing dataset.
 pub fn evaluate(dataset: &SprayDataset, controller: &EgressController) -> FabricResult {
-    // Group rows per target in window order.
-    let mut per_target: HashMap<(bb_geo::CityId, bb_workload::PrefixId), Vec<&bb_measure::spray::WindowRow>> =
-        HashMap::new();
+    // Group rows per target in window order. BTreeMap: iteration feeds the
+    // float accumulators, so order must not depend on hash state.
+    let mut per_target: BTreeMap<(bb_geo::CityId, bb_workload::PrefixId), Vec<&bb_measure::spray::WindowRow>> =
+        BTreeMap::new();
     for row in &dataset.rows {
         per_target.entry((row.pop, row.prefix)).or_default().push(row);
     }

@@ -109,7 +109,14 @@ pub fn run(scenario: &Scenario, seed: u64, iterations: usize) -> Vec<GroomingSte
             }
         }
         let trial_eval = evaluate(scenario, &trial);
-        if trial_eval.mean < eval.mean - 1e-9 {
+        // Keep only if measurements improve across the board: better mean
+        // without regressing the tail. A mean-only criterion can trade a
+        // worse p90/bad-fraction for a better average, which is not a
+        // repair an operator grooming for tail latency would keep.
+        let improves = trial_eval.mean < eval.mean - 1e-9
+            && trial_eval.p90 <= eval.p90 + 1e-9
+            && trial_eval.frac_bad <= eval.frac_bad + 1e-9;
+        if improves {
             ann = trial;
             eval = trial_eval;
             steps.push(step_from(iteration, &eval, Some(site.0)));

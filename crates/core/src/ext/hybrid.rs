@@ -22,7 +22,7 @@ use bb_cdn::dns::TrainingSample;
 use bb_cdn::{AnycastDeployment, DnsRedirector, SiteChoice};
 use bb_stats::weighted_quantile;
 use serde::Serialize;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Per-scheme latency summary over the evaluation rounds.
 #[derive(Debug, Clone, Serialize)]
@@ -75,21 +75,17 @@ pub fn run(scenario: &Scenario, beacon_cfg: &BeaconConfig, margin_ms: f64) -> Ve
     };
     let (train, test): (Vec<_>, Vec<_>) = measurements.iter().partition(|m| round_of(m) % 2 == 0);
 
-    // Train per-prefix medians.
-    let mut per_prefix: HashMap<bb_workload::PrefixId, Vec<&bb_measure::BeaconMeasurement>> =
-        HashMap::new();
+    // Train per-prefix medians. BTreeMaps keep sample order hash-free.
+    let mut per_prefix: BTreeMap<bb_workload::PrefixId, Vec<&bb_measure::BeaconMeasurement>> =
+        BTreeMap::new();
     for m in &train {
         per_prefix.entry(m.prefix).or_default().push(m);
     }
     let samples: Vec<TrainingSample> = per_prefix
         .iter()
         .map(|(&prefix, ms)| {
-            let med = |it: Vec<f64>| {
-                let mut v = it;
-                v.sort_by(|a, b| a.total_cmp(b));
-                bb_stats::quantile::quantile_sorted(&v, 0.5)
-            };
-            let mut per_site: HashMap<bb_geo::CityId, Vec<f64>> = HashMap::new();
+            let med = |mut v: Vec<f64>| bb_stats::quantile_select(&mut v, 0.5);
+            let mut per_site: BTreeMap<bb_geo::CityId, Vec<f64>> = BTreeMap::new();
             for m in ms {
                 for &(s, r) in &m.unicast_rtt_ms {
                     per_site.entry(s).or_default().push(r);

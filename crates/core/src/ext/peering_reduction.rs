@@ -63,28 +63,16 @@ impl PeeringStep {
 }
 
 /// Run the sweep. `thresholds` are applied as `pni_min_share` (1.1 ⇒ no
-/// PNIs at all). Each step builds an independent world, so the sweep runs
-/// one scoped thread per threshold.
+/// PNIs at all). Each step builds an independent world, so the steps run
+/// concurrently on the shared worker pool; results come back in threshold
+/// order regardless of worker count.
 pub fn run(base: &ScenarioConfig, thresholds: &[f64]) -> Vec<PeeringStep> {
-    crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = thresholds
-            .iter()
-            .map(|&th| {
-                let base = base.clone();
-                scope.spawn(move |_| {
-                    let mut cfg = base;
-                    cfg.provider.pni_min_share = th;
-                    let scenario = Scenario::build(cfg);
-                    evaluate(&scenario, th)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("sweep worker panicked"))
-            .collect()
+    bb_exec::par_map(thresholds, |_, &th| {
+        let mut cfg = base.clone();
+        cfg.provider.pni_min_share = th;
+        let scenario = Scenario::build(cfg);
+        evaluate(&scenario, th)
     })
-    .expect("crossbeam scope")
 }
 
 fn evaluate(scenario: &Scenario, threshold: f64) -> PeeringStep {

@@ -16,7 +16,7 @@ use bb_geo::{CityId, Region};
 use bb_measure::beacon::build_unicast_deployments;
 use bb_measure::{run_beacons, BeaconConfig, BeaconMeasurement};
 use bb_stats::{Ccdf, Cdf};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Results of the anycast study.
 pub struct AnycastStudy {
@@ -94,8 +94,9 @@ pub fn analyze(scenario: &Scenario, measurements: Vec<BeaconMeasurement>) -> Any
         measurements.iter().partition(|m| round_of(m) % 2 == 0);
 
     // Training samples: per-prefix medians over the training rounds.
-    let mut per_prefix_train: HashMap<bb_workload::PrefixId, Vec<&BeaconMeasurement>> =
-        HashMap::new();
+    // BTreeMaps keep sample/figure order independent of hash state.
+    let mut per_prefix_train: BTreeMap<bb_workload::PrefixId, Vec<&BeaconMeasurement>> =
+        BTreeMap::new();
     for m in &train {
         per_prefix_train.entry(m.prefix).or_default().push(m);
     }
@@ -104,7 +105,7 @@ pub fn analyze(scenario: &Scenario, measurements: Vec<BeaconMeasurement>) -> Any
         .map(|(&prefix, ms)| {
             let anycast_med = median(ms.iter().map(|m| m.anycast_rtt_ms));
             // Median per unicast site across the rounds.
-            let mut per_site: HashMap<CityId, Vec<f64>> = HashMap::new();
+            let mut per_site: BTreeMap<CityId, Vec<f64>> = BTreeMap::new();
             for m in ms {
                 for &(s, r) in &m.unicast_rtt_ms {
                     per_site.entry(s).or_default().push(r);
@@ -124,8 +125,8 @@ pub fn analyze(scenario: &Scenario, measurements: Vec<BeaconMeasurement>) -> Any
     let redirector = DnsRedirector::train(&scenario.workload, &samples);
 
     // Test: per prefix, collect (anycast, predicted) series over test rounds.
-    let mut per_prefix_test: HashMap<bb_workload::PrefixId, Vec<&BeaconMeasurement>> =
-        HashMap::new();
+    let mut per_prefix_test: BTreeMap<bb_workload::PrefixId, Vec<&BeaconMeasurement>> =
+        BTreeMap::new();
     for m in &test {
         per_prefix_test.entry(m.prefix).or_default().push(m);
     }
@@ -173,11 +174,7 @@ pub fn analyze(scenario: &Scenario, measurements: Vec<BeaconMeasurement>) -> Any
             predicted_series.push(acc);
         }
         let w = ms[0].weight;
-        let q = |v: &[f64], p: f64| {
-            let mut s = v.to_vec();
-            s.sort_by(|a, b| a.total_cmp(b));
-            bb_stats::quantile::quantile_sorted(&s, p)
-        };
+        let q = |v: &[f64], p: f64| bb_stats::quantile_unsorted(v, p).expect("non-empty series");
         med_points.push((q(&anycast_series, 0.5) - q(&predicted_series, 0.5), w));
         p75_points.push((q(&anycast_series, 0.75) - q(&predicted_series, 0.75), w));
     }
@@ -205,8 +202,7 @@ pub fn analyze(scenario: &Scenario, measurements: Vec<BeaconMeasurement>) -> Any
 
 fn median(values: impl Iterator<Item = f64>) -> f64 {
     let mut v: Vec<f64> = values.collect();
-    v.sort_by(|a, b| a.total_cmp(b));
-    bb_stats::quantile::quantile_sorted(&v, 0.5)
+    bb_stats::quantile_select(&mut v, 0.5)
 }
 
 #[cfg(test)]

@@ -12,7 +12,7 @@ use crate::world::Scenario;
 use bb_bgp::ProviderRouteClass;
 use bb_measure::{spray, SprayConfig, SprayDataset};
 use bb_stats::{bootstrap_median_ci, Cdf};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Threshold for "meaningful" improvement/degradation, ms (the paper's
 /// "5ms or more" yardstick).
@@ -73,7 +73,9 @@ pub fn analyze(scenario: &Scenario, spray_cfg: &SprayConfig, dataset: SprayDatas
             })
             .collect();
 
-    let mut groups: HashMap<(bb_geo::CityId, bb_workload::PrefixId), GroupAgg> = HashMap::new();
+    // BTreeMap: iteration order feeds CDF construction and float
+    // accumulation, so it must not depend on hash state.
+    let mut groups: BTreeMap<(bb_geo::CityId, bb_workload::PrefixId), GroupAgg> = BTreeMap::new();
     for row in &dataset.rows {
         if row.route_median_ms.len() < 2 {
             continue; // no alternate to compare against
@@ -162,9 +164,8 @@ pub fn analyze(scenario: &Scenario, spray_cfg: &SprayConfig, dataset: SprayDatas
             .values()
             .filter(|g| !f(g).is_empty())
             .map(|g| {
-                let mut v = f(g).clone();
-                v.sort_by(|a, b| a.total_cmp(b));
-                (bb_stats::quantile::quantile_sorted(&v, 0.5), g.volume)
+                let med = bb_stats::quantile_unsorted(f(g), 0.5).expect("non-empty class");
+                (med, g.volume)
             })
             .collect();
         Cdf::from_weighted(&pts)
@@ -191,12 +192,8 @@ pub fn analyze(scenario: &Scenario, spray_cfg: &SprayConfig, dataset: SprayDatas
     let mut ever_beaten_groups = 0usize;
     let mut persistent_beaters = 0usize;
     for agg in groups.values() {
-        let mut pref_sorted = agg.preferred.clone();
-        pref_sorted.sort_by(|a, b| a.total_cmp(b));
-        let pref_base = bb_stats::quantile::quantile_sorted(&pref_sorted, 0.5);
-        let mut alt_sorted = agg.best_alt.clone();
-        alt_sorted.sort_by(|a, b| a.total_cmp(b));
-        let alt_base = bb_stats::quantile::quantile_sorted(&alt_sorted, 0.5);
+        let pref_base = bb_stats::median_unsorted(&agg.preferred).expect("non-empty group");
+        let alt_base = bb_stats::median_unsorted(&agg.best_alt).expect("non-empty group");
 
         let mut beat_count = 0usize;
         for i in 0..agg.preferred.len() {
@@ -241,8 +238,8 @@ pub fn analyze(scenario: &Scenario, spray_cfg: &SprayConfig, dataset: SprayDatas
     // alternate's median goodput beats BGP's by ≥10 %.
     let mut bw_points = Vec::new();
     {
-        let mut per_group: HashMap<(bb_geo::CityId, bb_workload::PrefixId), (Vec<f64>, f64)> =
-            HashMap::new();
+        let mut per_group: BTreeMap<(bb_geo::CityId, bb_workload::PrefixId), (Vec<f64>, f64)> =
+            BTreeMap::new();
         for row in &dataset.rows {
             if row.route_median_ms.len() < 2 {
                 continue;
@@ -261,8 +258,7 @@ pub fn analyze(scenario: &Scenario, spray_cfg: &SprayConfig, dataset: SprayDatas
             entry.1 += row.volume;
         }
         for (mut ratios, volume) in per_group.into_values() {
-            ratios.sort_by(|a, b| a.total_cmp(b));
-            let med = bb_stats::quantile::quantile_sorted(&ratios, 0.5);
+            let med = bb_stats::quantile_select(&mut ratios, 0.5);
             bw_points.push((med, volume));
         }
     }

@@ -14,7 +14,7 @@ use bb_cdn::{Tier, TierDeployment};
 use bb_geo::CityId;
 use bb_measure::{probe_tiers, select_vantage_points, ProbeConfig, TierProbe, VantagePoint};
 use bb_netsim::goodput::transfer_time_s;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Results of the tiers study.
 pub struct TiersStudy {
@@ -77,7 +77,9 @@ pub fn analyze(
         premium_ingress_km: f64,
         standard_ingress_km: f64,
     }
-    let mut per_vp: HashMap<usize, VpAgg> = HashMap::new();
+    // BTreeMap: iteration order feeds the qualifying-VP list and the
+    // figures downstream, so it must not depend on hash state.
+    let mut per_vp: BTreeMap<usize, VpAgg> = BTreeMap::new();
     for p in &probes {
         let agg = per_vp.entry(p.vp_index).or_insert(VpAgg {
             premium: Vec::new(),
@@ -121,17 +123,13 @@ pub fn analyze(
             !a.premium.is_empty() && !a.standard.is_empty() && a.premium_direct && a.standard_indirect
         })
         .map(|(&vi, a)| {
-            let med = |v: &[f64]| {
-                let mut s = v.to_vec();
-                s.sort_by(|x, y| x.total_cmp(y));
-                bb_stats::quantile::quantile_sorted(&s, 0.5)
-            };
+            let med = |v: &[f64]| bb_stats::median_unsorted(v).expect("non-empty tier series");
             (vi, med(&a.standard) - med(&a.premium))
         })
         .collect();
 
     // Per-country medians, weighted by VP user counts.
-    let mut per_country: HashMap<usize, Vec<(f64, f64)>> = HashMap::new();
+    let mut per_country: BTreeMap<usize, Vec<(f64, f64)>> = BTreeMap::new();
     for &(vi, diff) in &qualifying {
         let vp = &vps[vi];
         per_country
@@ -168,11 +166,7 @@ pub fn analyze(
     for &(vi, _) in &qualifying {
         let agg = &per_vp[&vi];
         let vp = &vps[vi];
-        let med = |v: &[f64]| {
-            let mut s = v.to_vec();
-            s.sort_by(|x, y| x.total_cmp(y));
-            bb_stats::quantile::quantile_sorted(&s, 0.5)
-        };
+        let med = |v: &[f64]| bb_stats::median_unsorted(v).expect("non-empty tier series");
         // Bottleneck utilization proxy: the VP's last-mile at a neutral hour.
         let util = 0.5;
         let access = 80.0;

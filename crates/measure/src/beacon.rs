@@ -91,14 +91,14 @@ pub fn run_beacons(
     cfg: &BeaconConfig,
 ) -> Vec<BeaconMeasurement> {
     let rtt_model = RttModel::default();
-    let mut out = Vec::new();
 
-    for prefix in &workload.prefixes {
+    // One task per prefix; the RNG is keyed on (seed, prefix id, round), so
+    // output is identical for every worker count, and the in-order flatten
+    // reproduces the sequential prefix-major row order.
+    let per_prefix = bb_exec::par_map(&workload.prefixes, |_, prefix| {
         let lastmile = CongestionKey::LastMile(prefix.id.lastmile_code());
         // Cache the services once per prefix (routing is static).
-        let Some(any_svc) = anycast.serve(topo, provider, prefix.asn, prefix.city) else {
-            continue;
-        };
+        let any_svc = anycast.serve(topo, provider, prefix.asn, prefix.city)?;
         // Nearby sites: by great-circle distance from the client.
         let mut sites: Vec<(CityId, f64)> = anycast
             .sites
@@ -125,9 +125,10 @@ pub fn run_beacons(
             })
             .collect();
         if uni_svcs.is_empty() {
-            continue;
+            return None;
         }
 
+        let mut rows = Vec::with_capacity(cfg.rounds);
         for round in 0..cfg.rounds {
             let t = SimTime::from_hours(round as f64 * cfg.round_spacing_h);
             let mut rng = StdRng::seed_from_u64(
@@ -147,7 +148,7 @@ pub fn run_beacons(
                 .map(|(s, svc)| (*s, measure(svc, &mut rng)))
                 .collect();
 
-            out.push(BeaconMeasurement {
+            rows.push(BeaconMeasurement {
                 prefix: prefix.id,
                 weight: prefix.weight,
                 region: topo.atlas.city(prefix.city).region,
@@ -157,8 +158,9 @@ pub fn run_beacons(
                 unicast_rtt_ms,
             });
         }
-    }
-    out
+        Some(rows)
+    });
+    per_prefix.into_iter().flatten().flatten().collect()
 }
 
 /// Build the per-site unicast deployments for a set of sites.
@@ -167,9 +169,8 @@ pub fn build_unicast_deployments(
     provider: &Provider,
     sites: &[CityId],
 ) -> HashMap<CityId, AnycastDeployment> {
-    sites
-        .iter()
-        .map(|&s| (s, AnycastDeployment::unicast(topo, provider, s)))
+    bb_exec::par_map(sites, |_, &s| (s, AnycastDeployment::unicast(topo, provider, s)))
+        .into_iter()
         .collect()
 }
 

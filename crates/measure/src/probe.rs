@@ -101,9 +101,12 @@ pub fn probe_tiers(
     cfg: &ProbeConfig,
 ) -> Vec<TierProbe> {
     let rtt_model = RttModel::default();
-    let mut out = Vec::new();
 
-    for (vi, vp) in vps.iter().enumerate() {
+    // One task per vantage point; the RNG is keyed on (seed, vp index,
+    // round, tier), so output is identical for every worker count, and the
+    // in-order flatten reproduces the sequential vp-major row order.
+    let per_vp: Vec<Vec<TierProbe>> = bb_exec::par_map(vps, |vi, vp| {
+        let mut out = Vec::new();
         let lastmile = CongestionKey::LastMile(0x_caa0_0000 | vi as u64);
         for (tier, dep) in [(Tier::Premium, premium), (Tier::Standard, standard)] {
             let Some(tp) = dep.reach(topo, provider, vp.asn, vp.city) else {
@@ -134,8 +137,9 @@ pub fn probe_tiers(
                 });
             }
         }
-    }
-    out
+        out
+    });
+    per_vp.into_iter().flatten().collect()
 }
 
 #[cfg(test)]

@@ -8,7 +8,7 @@
 //! median MinRTT per ⟨PoP, prefix, route⟩ per window, plus the window's
 //! traffic volume for weighting.
 
-use bb_bgp::{compute_routes, provider_rib, Announcement, ProviderRouteClass};
+use bb_bgp::{provider_rib, Announcement, ProviderRouteClass};
 use bb_cdn::Provider;
 use bb_geo::CityId;
 use bb_netsim::{
@@ -113,8 +113,11 @@ pub fn spray(
         .filter(|w| w.0 % cfg.window_stride == 0)
         .collect();
 
-    let mut rows = Vec::with_capacity(targets.len() * windows.len());
-    for (ti, target) in targets.iter().enumerate() {
+    // One task per target; each task's RNG streams are keyed on
+    // (seed, window, target index, route index), so the rows are identical
+    // for every worker count, and the in-order flatten keeps the row order
+    // of the old sequential nesting (target-major, window-minor).
+    let per_target: Vec<Vec<WindowRow>> = bb_exec::par_map(&targets, |ti, target| {
         let prefix = workload.prefix(target.prefix);
         let lastmile = CongestionKey::LastMile(target.prefix.lastmile_code());
         let client_offset = topo
@@ -123,6 +126,7 @@ pub fn spray(
             .region
             .utc_offset_hours();
 
+        let mut rows = Vec::with_capacity(windows.len());
         for &w in &windows {
             let t = w.midpoint();
             let mut medians = Vec::with_capacity(target.routes.len());
@@ -163,7 +167,9 @@ pub fn spray(
                 volume,
             });
         }
-    }
+        rows
+    });
+    let rows: Vec<WindowRow> = per_target.into_iter().flatten().collect();
 
     SprayDataset { targets, rows }
 }
@@ -176,27 +182,36 @@ pub fn build_targets(
     workload: &Workload,
     top_k: usize,
 ) -> Vec<SprayTarget> {
-    // One routing computation per client AS, shared by its prefixes.
-    let mut tables: HashMap<AsId, _> = HashMap::new();
-    let mut targets = Vec::new();
+    // One routing computation per client AS, shared by its prefixes. The
+    // per-AS tables go through the process-wide route cache (repeat calls
+    // for the same world — e.g. fig1 then the fabric controller study —
+    // skip propagation entirely) and the misses compute in parallel.
+    let mut asns: Vec<AsId> = Vec::new();
+    {
+        let mut seen: std::collections::HashSet<AsId> = Default::default();
+        for prefix in &workload.prefixes {
+            if seen.insert(prefix.asn) {
+                asns.push(prefix.asn);
+            }
+        }
+    }
+    let tables: HashMap<AsId, _> = bb_exec::par_map(&asns, |_, &asn| {
+        let ann = Announcement::full(topo, asn);
+        let t = bb_exec::cached_routes(topo, &ann);
+        let ribs = provider_rib(topo, provider.asn, &t);
+        (asn, (t, ribs))
+    })
+    .into_iter()
+    .collect();
 
-    for prefix in &workload.prefixes {
-        let table = tables.entry(prefix.asn).or_insert_with(|| {
-            let ann = Announcement::full(topo, prefix.asn);
-            let t = compute_routes(topo, &ann);
-            let ribs = provider_rib(topo, provider.asn, &t);
-            (t, ribs)
-        });
-        let (table, ribs) = (&table.0, &table.1);
+    let targets: Vec<Option<SprayTarget>> = bb_exec::par_map(&workload.prefixes, |_, prefix| {
+        let (table, ribs) = &tables[&prefix.asn];
 
         // Serving PoP: nearest PoP that actually has routes to the prefix.
         let by_dist = provider.pops_by_distance(topo, prefix.city);
-        let Some(rib) = by_dist
+        let rib = by_dist
             .iter()
-            .find_map(|&(pop, _)| ribs.iter().find(|r| r.pop_city == pop))
-        else {
-            continue;
-        };
+            .find_map(|&(pop, _)| ribs.iter().find(|r| r.pop_city == pop))?;
 
         let routes: Vec<SprayRoute> = rib
             .top_k(top_k)
@@ -229,16 +244,17 @@ pub fn build_targets(
             })
             .collect();
 
-        if !routes.is_empty() {
-            targets.push(SprayTarget {
-                pop: rib.pop_city,
-                prefix: prefix.id,
-                client_as: prefix.asn,
-                routes,
-            });
+        if routes.is_empty() {
+            return None;
         }
-    }
-    targets
+        Some(SprayTarget {
+            pop: rib.pop_city,
+            prefix: prefix.id,
+            client_as: prefix.asn,
+            routes,
+        })
+    });
+    targets.into_iter().flatten().collect()
 }
 
 #[cfg(test)]

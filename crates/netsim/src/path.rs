@@ -128,7 +128,8 @@ impl RealizedPath {
     /// The longest distance carried inside a single AS, and that AS
     /// (§3.3.2's "fraction of the journey on a single network").
     pub fn max_single_as_km(&self, topo: &Topology) -> (AsId, f64) {
-        let mut per_as: std::collections::HashMap<AsId, f64> = std::collections::HashMap::new();
+        // BTreeMap so exact-tie winners don't depend on hasher state.
+        let mut per_as: std::collections::BTreeMap<AsId, f64> = std::collections::BTreeMap::new();
         for s in &self.segments {
             let d = topo
                 .atlas

@@ -22,5 +22,8 @@ pub mod summary;
 pub use bootstrap::{bootstrap_median_ci, ConfidenceInterval};
 pub use cdf::{Ccdf, Cdf};
 pub use histogram::Histogram;
-pub use quantile::{median, quantile, weighted_median, weighted_quantile};
+pub use quantile::{
+    median, median_unsorted, quantile, quantile_select, quantile_unsorted, weighted_median,
+    weighted_quantile,
+};
 pub use summary::Summary;

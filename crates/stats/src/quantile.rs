@@ -39,6 +39,59 @@ pub fn median(values: &[f64]) -> Option<f64> {
     quantile(values, 0.5)
 }
 
+std::thread_local! {
+    static SCRATCH: std::cell::RefCell<Vec<f64>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Quantile of an unsorted slice without the clone-and-full-sort pattern:
+/// the input is copied into a reusable thread-local scratch buffer and the
+/// order statistics bracketing the quantile position are found with O(n)
+/// selection. Returns exactly the same value as `quantile` for the same
+/// input.
+pub fn quantile_unsorted(values: &[f64], q: f64) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    debug_assert!(values.iter().all(|v| !v.is_nan()), "NaN in quantile input");
+    SCRATCH.with(|cell| {
+        let mut buf = cell.borrow_mut();
+        buf.clear();
+        buf.extend_from_slice(values);
+        Some(quantile_select(&mut buf, q))
+    })
+}
+
+/// Median shortcut for `quantile_unsorted`.
+pub fn median_unsorted(values: &[f64]) -> Option<f64> {
+    quantile_unsorted(values, 0.5)
+}
+
+/// In-place selection quantile for callers that own a scratch buffer. The
+/// slice is partially reordered. Panics on empty input.
+///
+/// Interpolation matches `quantile_sorted` bit-for-bit: `total_cmp` order,
+/// linear interpolation at position `q * (n - 1)`.
+pub fn quantile_select(buf: &mut [f64], q: f64) -> f64 {
+    assert!(!buf.is_empty());
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (buf.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let (_, &mut lo_v, rest) = buf.select_nth_unstable_by(lo, |a, b| a.total_cmp(b));
+    if lo == hi {
+        return lo_v;
+    }
+    // hi == lo + 1, so sorted[hi] is the total_cmp-minimum of the right
+    // partition left behind by the selection.
+    let hi_v = rest
+        .iter()
+        .copied()
+        .min_by(|a, b| a.total_cmp(b))
+        .expect("hi < len implies a non-empty right partition");
+    let frac = pos - lo as f64;
+    lo_v * (1.0 - frac) + hi_v * frac
+}
+
 /// Weighted quantile: smallest value v such that the cumulative weight of
 /// samples ≤ v reaches `q` of the total weight.
 ///
@@ -152,6 +205,38 @@ mod tests {
             assert!(v >= prev, "q={q}: {v} < {prev}");
             prev = v;
         }
+    }
+
+    #[test]
+    fn selection_matches_sort_based_quantile() {
+        // Deterministic pseudo-random data with duplicates and negatives.
+        let mut x = 0x_dead_beef_u64;
+        let mut values = Vec::new();
+        for _ in 0..257 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            values.push(((x >> 33) % 1000) as f64 / 7.0 - 50.0);
+        }
+        for i in 0..=40 {
+            let q = i as f64 / 40.0;
+            assert_eq!(quantile_unsorted(&values, q), quantile(&values, q), "q={q}");
+        }
+        // Tiny inputs and edge quantiles.
+        for n in 1..6 {
+            let small = &values[..n];
+            for q in [0.0, 0.1, 0.5, 0.9, 1.0] {
+                assert_eq!(quantile_unsorted(small, q), quantile(small, q));
+            }
+        }
+        assert_eq!(median_unsorted(&values), median(&values));
+        assert!(quantile_unsorted(&[], 0.5).is_none());
+    }
+
+    #[test]
+    fn quantile_select_reuses_buffer_correctly() {
+        let mut buf = vec![5.0, 1.0, 4.0, 2.0, 3.0];
+        assert_eq!(quantile_select(&mut buf, 0.5), 3.0);
+        // Buffer is reordered but still usable for another call.
+        assert_eq!(quantile_select(&mut buf, 1.0), 5.0);
     }
 
     #[test]

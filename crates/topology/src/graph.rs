@@ -14,6 +14,10 @@ use std::collections::HashMap;
 #[derive(Debug, Clone)]
 pub struct Topology {
     pub atlas: Atlas,
+    /// Process-unique identity; AsId/InterconnectId spaces are only
+    /// meaningful within one topology, so caches keyed on those ids must
+    /// also key on this.
+    uid: u64,
     ases: Vec<AsNode>,
     links: Vec<Interconnect>,
     /// Per-AS list of (neighbor, link) pairs; one entry per interconnect.
@@ -27,11 +31,20 @@ impl Topology {
     pub fn new(atlas: Atlas) -> Self {
         Self {
             atlas,
+            uid: next_uid(),
             ases: Vec::new(),
             links: Vec::new(),
             adj: Vec::new(),
             rels: HashMap::new(),
         }
+    }
+
+    /// Process-unique topology identity, for keying external caches.
+    /// Every mutation assigns a fresh uid, so two topologies sharing a uid
+    /// are guaranteed to have identical routing-relevant content (a clone
+    /// keeps the uid until it diverges).
+    pub fn uid(&self) -> u64 {
+        self.uid
     }
 
     /// Add an AS; its `id` field is assigned here.
@@ -48,6 +61,7 @@ impl Topology {
     ) -> AsId {
         assert!(!footprint.is_empty(), "AS footprint must be non-empty");
         assert!(intra_inflation >= 1.0);
+        self.uid = next_uid();
         let id = AsId(self.ases.len() as u32);
         // Default exit fidelity by class; see `AsNode::exit_fidelity`.
         let exit_fidelity = match class {
@@ -87,6 +101,7 @@ impl Topology {
         capacity_gbps: f64,
     ) -> InterconnectId {
         assert_ne!(a, b, "no self-links");
+        self.uid = next_uid();
         assert!(
             self.ases[a.index()].present_in(city),
             "{} not present in {city}",
@@ -127,6 +142,7 @@ impl Topology {
     /// Override an AS's exit fidelity (see `AsNode::exit_fidelity`).
     pub fn set_exit_fidelity(&mut self, asn: AsId, fidelity: f64) {
         assert!((0.0..=1.0).contains(&fidelity));
+        self.uid = next_uid();
         self.ases[asn.index()].exit_fidelity = fidelity;
     }
 
@@ -137,6 +153,7 @@ impl Topology {
         if !fp.contains(&city) {
             fp.push(city);
             fp.sort();
+            self.uid = next_uid();
         }
     }
 
@@ -229,6 +246,12 @@ impl Topology {
         v.dedup();
         v
     }
+}
+
+fn next_uid() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT_UID: AtomicU64 = AtomicU64::new(1);
+    NEXT_UID.fetch_add(1, Ordering::Relaxed)
 }
 
 fn pair_key(a: AsId, b: AsId) -> (AsId, AsId) {

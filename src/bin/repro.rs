@@ -1,11 +1,19 @@
 //! `repro` — regenerate every figure and statistic of the paper.
 //!
 //! ```text
-//! repro [EXPERIMENT] [--scale test|full|large] [--seed N]
+//! repro [EXPERIMENT] [--scale test|full|large] [--seed N] [--jobs N] [--timing]
 //!
 //! EXPERIMENT: all (default) | fig1 | fig2 | s311 | fig3 | fig4 | fig5 |
 //!             calib | goodput | xpeer | xgroom | xsites | xonenet | xsplit
 //! ```
+//!
+//! Experiments run concurrently on up to `--jobs` workers, but stdout is
+//! assembled in a fixed order from per-experiment buffers, and every
+//! random draw is keyed on `(seed, item)` rather than thread schedule —
+//! so output is byte-identical for every `--jobs` value, including 1.
+//! Worlds and studies shared by several experiments (the Facebook spray
+//! campaign feeds fig1/fig2/s311/xfabric; the Microsoft world feeds
+//! fig3/fig4 and five extensions) are built once and memoized.
 
 use beating_bgp::cdn::EgressController;
 use beating_bgp::core::ext::{
@@ -14,13 +22,19 @@ use beating_bgp::core::ext::{
 };
 use beating_bgp::core::{calibration, study_anycast, study_egress, study_tiers};
 use beating_bgp::core::{Scale, Scenario, ScenarioConfig};
+use beating_bgp::exec::timing;
 use beating_bgp::measure::{BeaconConfig, ProbeConfig, SprayConfig};
+use std::fmt::Write as _;
+use std::sync::OnceLock;
 
 struct Args {
     experiment: String,
     scale: Scale,
     seed: u64,
     csv_dir: Option<std::path::PathBuf>,
+    /// Worker count for parallel sections; 0 = available cores.
+    jobs: usize,
+    timing: bool,
 }
 
 fn parse_args() -> Args {
@@ -28,6 +42,8 @@ fn parse_args() -> Args {
     let mut scale = Scale::Full;
     let mut seed = 42u64;
     let mut csv_dir: Option<std::path::PathBuf> = None;
+    let mut jobs = 0usize;
+    let mut timing = false;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
@@ -54,6 +70,17 @@ fn parse_args() -> Args {
                         std::process::exit(2);
                     });
             }
+            "--jobs" => {
+                i += 1;
+                jobs = argv
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--jobs needs a number");
+                        std::process::exit(2);
+                    });
+            }
+            "--timing" => timing = true,
             "--csv" => {
                 i += 1;
                 let dir = std::path::PathBuf::from(argv.get(i).cloned().unwrap_or_else(|| {
@@ -68,9 +95,14 @@ fn parse_args() -> Args {
             }
             "--help" | "-h" => {
                 println!(
-                    "repro [EXPERIMENT] [--scale test|full|large] [--seed N] [--csv DIR]\n\
+                    "repro [EXPERIMENT] [--scale test|full|large] [--seed N] [--jobs N] \
+                     [--timing] [--csv DIR]\n\
                      experiments: all fig1 fig2 s311 fig3 fig4 fig5 calib goodput \
-                     xpeer xgroom xsites xonenet xsplit xablate xavail xhybrid xfabric xecs"
+                     xpeer xgroom xsites xonenet xsplit xablate xavail xhybrid xfabric xecs\n\
+                     --jobs N   worker threads (default: available cores); output is\n\
+                     {:11}byte-identical for every N\n\
+                     --timing   per-experiment wall-clock and route-cache stats on stderr",
+                    ""
                 );
                 std::process::exit(0);
             }
@@ -83,6 +115,8 @@ fn parse_args() -> Args {
         scale,
         seed,
         csv_dir,
+        jobs,
+        timing,
     }
 }
 
@@ -105,230 +139,338 @@ fn spray_cfg(scale: Scale) -> SprayConfig {
 
 fn main() {
     let args = parse_args();
+    beating_bgp::exec::set_jobs(args.jobs);
     let want = |name: &str| args.experiment == "all" || args.experiment == name;
-    let mut ran_any = false;
 
-    // --- Study A: Facebook-like world (fig1, fig2, s311, calib, xpeer) ---
-    if ["fig1", "fig2", "s311", "calib"].iter().any(|e| want(e)) {
-        ran_any = true;
-        eprintln!("[repro] building Facebook-like world…");
-        let scenario = Scenario::build(ScenarioConfig::facebook(args.seed, args.scale));
-        if want("calib") {
-            println!("{}", calibration::run(&scenario).render());
-        }
-        if ["fig1", "fig2", "s311"].iter().any(|e| want(e)) {
+    // --- Shared worlds and studies, built once on first use. ---
+    // OnceLock::get_or_init blocks concurrent initializers, so when several
+    // experiments race for the same world the build still happens exactly
+    // once and everyone reads the same object.
+    let fb_cell: OnceLock<Scenario> = OnceLock::new();
+    let facebook = || {
+        fb_cell.get_or_init(|| {
+            eprintln!("[repro] building Facebook-like world…");
+            timing::time("world:facebook", || {
+                Scenario::build(ScenarioConfig::facebook(args.seed, args.scale))
+            })
+        })
+    };
+    let ms_cell: OnceLock<Scenario> = OnceLock::new();
+    let microsoft = || {
+        ms_cell.get_or_init(|| {
+            eprintln!("[repro] building Microsoft-like world…");
+            timing::time("world:microsoft", || {
+                Scenario::build(ScenarioConfig::microsoft(args.seed, args.scale))
+            })
+        })
+    };
+    let gg_cell: OnceLock<Scenario> = OnceLock::new();
+    let google = || {
+        gg_cell.get_or_init(|| {
+            eprintln!("[repro] building Google-like world…");
+            timing::time("world:google", || {
+                Scenario::build(ScenarioConfig::google(args.seed, args.scale))
+            })
+        })
+    };
+
+    let egress_cell: OnceLock<study_egress::EgressStudy> = OnceLock::new();
+    let egress_study = || {
+        egress_cell.get_or_init(|| {
+            let scenario = facebook();
             eprintln!("[repro] spraying sessions across egress routes…");
-            let study = study_egress::run(&scenario, &spray_cfg(args.scale));
-            if want("fig1") {
-                println!("{}", study.fig1.render());
+            timing::time("study:egress", || {
+                study_egress::run(scenario, &spray_cfg(args.scale))
+            })
+        })
+    };
+    let anycast_cell: OnceLock<study_anycast::AnycastStudy> = OnceLock::new();
+    let anycast_study = || {
+        anycast_cell.get_or_init(|| {
+            let scenario = microsoft();
+            eprintln!("[repro] running beacon campaign…");
+            timing::time("study:anycast", || {
+                study_anycast::run(scenario, &BeaconConfig::default())
+            })
+        })
+    };
+    let tiers_cell: OnceLock<study_tiers::TiersStudy> = OnceLock::new();
+    let tiers_study = || {
+        tiers_cell.get_or_init(|| {
+            let scenario = google();
+            eprintln!("[repro] probing Premium/Standard tiers…");
+            timing::time("study:tiers", || {
+                study_tiers::run(scenario, &ProbeConfig::default())
+            })
+        })
+    };
+
+    // --- Experiments: (name, closure → stdout chunk), in output order. ---
+    type Exp<'a> = (&'static str, Box<dyn Fn() -> String + Sync + 'a>);
+    let experiments: Vec<Exp> = vec![
+        ("calib", Box::new(|| format!("{}\n", calibration::run(facebook()).render()))),
+        (
+            "fig1",
+            Box::new(|| {
+                let study = egress_study();
                 if let Some(dir) = &args.csv_dir {
                     beating_bgp::core::export::fig1_csv(&study.fig1, dir).expect("fig1 csv");
                 }
-            }
-            if want("fig2") {
-                println!("{}", study.fig2.render());
+                format!("{}\n", study.fig1.render())
+            }),
+        ),
+        (
+            "fig2",
+            Box::new(|| {
+                let study = egress_study();
                 if let Some(dir) = &args.csv_dir {
                     beating_bgp::core::export::fig2_csv(&study.fig2, dir).expect("fig2 csv");
                 }
-            }
-            if want("s311") {
-                println!("{}", study.episodes.render());
-                println!(
-                    "S3.1 bandwidth: alternate improves goodput >=10% for {:.1}% of traffic \
-                     (paper: \"qualitatively similar results for bandwidth\")\n",
+                format!("{}\n", study.fig2.render())
+            }),
+        ),
+        (
+            "s311",
+            Box::new(|| {
+                let study = egress_study();
+                format!(
+                    "{}\nS3.1 bandwidth: alternate improves goodput >=10% for {:.1}% of traffic \
+                     (paper: \"qualitatively similar results for bandwidth\")\n\n",
+                    study.episodes.render(),
                     study.bandwidth_improvable * 100.0
-                );
-            }
-        }
-    }
-
-    // --- Study B: Microsoft-like world (fig3, fig4) ---
-    if ["fig3", "fig4"].iter().any(|e| want(e)) {
-        ran_any = true;
-        eprintln!("[repro] building Microsoft-like world…");
-        let scenario = Scenario::build(ScenarioConfig::microsoft(args.seed, args.scale));
-        eprintln!("[repro] running beacon campaign…");
-        let study = study_anycast::run(&scenario, &BeaconConfig::default());
-        if want("fig3") {
-            println!("{}", study.fig3.render());
-            if let Some(dir) = &args.csv_dir {
-                beating_bgp::core::export::fig3_csv(&study.fig3, dir).expect("fig3 csv");
-            }
-        }
-        if want("fig4") {
-            println!("{}", study.fig4.render());
-            if let Some(dir) = &args.csv_dir {
-                beating_bgp::core::export::fig4_csv(&study.fig4, dir).expect("fig4 csv");
-            }
-        }
-    }
-
-    // --- Study C: Google-like world (fig5, goodput, xonenet) ---
-    if ["fig5", "goodput", "xonenet"].iter().any(|e| want(e)) {
-        ran_any = true;
-        eprintln!("[repro] building Google-like world…");
-        let scenario = Scenario::build(ScenarioConfig::google(args.seed, args.scale));
-        if ["fig5", "goodput"].iter().any(|e| want(e)) {
-            eprintln!("[repro] probing Premium/Standard tiers…");
-            let study = study_tiers::run(&scenario, &ProbeConfig::default());
-            if want("fig5") {
-                println!("{}", study.fig5.render());
+                )
+            }),
+        ),
+        (
+            "fig3",
+            Box::new(|| {
+                let study = anycast_study();
+                if let Some(dir) = &args.csv_dir {
+                    beating_bgp::core::export::fig3_csv(&study.fig3, dir).expect("fig3 csv");
+                }
+                format!("{}\n", study.fig3.render())
+            }),
+        ),
+        (
+            "fig4",
+            Box::new(|| {
+                let study = anycast_study();
+                if let Some(dir) = &args.csv_dir {
+                    beating_bgp::core::export::fig4_csv(&study.fig4, dir).expect("fig4 csv");
+                }
+                format!("{}\n", study.fig4.render())
+            }),
+        ),
+        (
+            "fig5",
+            Box::new(|| {
+                let study = tiers_study();
                 if let Some(dir) = &args.csv_dir {
                     beating_bgp::core::export::fig5_csv(&study.fig5, dir).expect("fig5 csv");
                 }
-            }
-            if want("goodput") {
-                println!(
+                format!("{}\n", study.fig5.render())
+            }),
+        ),
+        (
+            "goodput",
+            Box::new(|| {
+                format!(
                     "S4 goodput: weighted median 10MB transfer-time difference \
-                     (standard - premium): {:+.2} s\n",
-                    study.goodput_diff_s
+                     (standard - premium): {:+.2} s\n\n",
+                    tiers_study().goodput_diff_s
+                )
+            }),
+        ),
+        (
+            "xonenet",
+            Box::new(|| {
+                let mut out =
+                    String::from("X-ONENET (§3.3.2): latency inflation vs single-network share\n");
+                for b in single_network::run(google(), None) {
+                    writeln!(out, "{}", b.render_row()).unwrap();
+                }
+                out.push('\n');
+                out
+            }),
+        ),
+        (
+            "xpeer",
+            Box::new(|| {
+                let mut out =
+                    String::from("X-PEER (§3.1.3): reduced peering footprint sweep\n");
+                let base = ScenarioConfig::facebook(args.seed, args.scale);
+                for step in peering_reduction::run(&base, &[0.05, 0.12, 0.3, 0.6, 1.1]) {
+                    writeln!(out, "{}", step.render_row()).unwrap();
+                }
+                out.push('\n');
+                out
+            }),
+        ),
+        (
+            "xgroom",
+            Box::new(|| {
+                let mut out =
+                    String::from("X-GROOM (§3.2.2): grooming an ungroomed anycast prefix\n");
+                let scenario = microsoft();
+                for step in grooming::run(scenario, args.seed ^ 0x_9700, 12) {
+                    writeln!(out, "{}", step.render_row()).unwrap();
+                }
+                let baseline = grooming::groomed_baseline(scenario);
+                writeln!(out, "  fully-groomed baseline: {}", baseline.render_row()).unwrap();
+                out.push('\n');
+                out
+            }),
+        ),
+        (
+            "xsites",
+            Box::new(|| {
+                let mut out =
+                    String::from("X-SITES (§3.2.2): anycast latency vs number of sites\n");
+                for p in site_count::run(microsoft(), &[1, 2, 4, 8, 16, 32, 64]) {
+                    writeln!(out, "{}", p.render_row()).unwrap();
+                }
+                out.push('\n');
+                out
+            }),
+        ),
+        (
+            "xecs",
+            Box::new(|| {
+                let mut out =
+                    String::from("X-ECS (§3.2.1): Fig 4 vs ISP EDNS-Client-Subnet adoption\n");
+                for p in ecs::run(microsoft(), &BeaconConfig::default(), &[0.0, 0.25, 0.5, 1.0]) {
+                    writeln!(out, "{}", p.render_row()).unwrap();
+                }
+                out.push('\n');
+                out
+            }),
+        ),
+        (
+            "xavail",
+            Box::new(|| {
+                let r = availability::run(
+                    microsoft(),
+                    args.seed ^ 0x_a1a,
+                    &availability::RecoveryConfig::default(),
                 );
-            }
-        }
-        if want("xonenet") {
-            println!("X-ONENET (§3.3.2): latency inflation vs single-network share");
-            for b in single_network::run(&scenario, None) {
-                println!("{}", b.render_row());
-            }
-            println!();
-        }
-    }
+                format!("{}\n", r.render())
+            }),
+        ),
+        (
+            "xhybrid",
+            Box::new(|| {
+                let mut out =
+                    String::from("X-HYBRID (§4): anycast vs DNS vs hybrid vs oracle\n");
+                for s in hybrid::run(microsoft(), &BeaconConfig::default(), 10.0) {
+                    writeln!(out, "{}", s.render_row()).unwrap();
+                }
+                out.push('\n');
+                out
+            }),
+        ),
+        (
+            "xfabric",
+            Box::new(|| {
+                // Reuse the egress study's spray dataset (same scenario,
+                // same spray config) instead of re-running the campaign.
+                let study = egress_study();
+                let r = fabric::evaluate(&study.dataset, &EgressController::default());
+                format!("{}\n", r.render())
+            }),
+        ),
+        (
+            "xablate",
+            Box::new(|| {
+                let mut out =
+                    String::from("X-ABLATE: modeling-mechanism ablations (quality deltas)\n");
 
-    // --- Extensions on their own worlds ---
-    if want("xpeer") {
-        ran_any = true;
-        println!("X-PEER (§3.1.3): reduced peering footprint sweep");
-        let base = ScenarioConfig::facebook(args.seed, args.scale);
-        for step in peering_reduction::run(&base, &[0.05, 0.12, 0.3, 0.6, 1.1]) {
-            println!("{}", step.render_row());
-        }
-        println!();
-    }
-    if want("xgroom") {
-        ran_any = true;
-        println!("X-GROOM (§3.2.2): grooming an ungroomed anycast prefix");
-        let scenario = Scenario::build(ScenarioConfig::microsoft(args.seed, args.scale));
-        for step in grooming::run(&scenario, args.seed ^ 0x_9700, 12) {
-            println!("{}", step.render_row());
-        }
-        let baseline = grooming::groomed_baseline(&scenario);
-        println!("  fully-groomed baseline: {}", baseline.render_row());
-        println!();
-    }
-    if want("xsites") {
-        ran_any = true;
-        println!("X-SITES (§3.2.2): anycast latency vs number of sites");
-        let scenario = Scenario::build(ScenarioConfig::microsoft(args.seed, args.scale));
-        for p in site_count::run(&scenario, &[1, 2, 4, 8, 16, 32, 64]) {
-            println!("{}", p.render_row());
-        }
-        println!();
-    }
-    if want("xecs") {
-        ran_any = true;
-        println!("X-ECS (§3.2.1): Fig 4 vs ISP EDNS-Client-Subnet adoption");
-        let scenario = Scenario::build(ScenarioConfig::microsoft(args.seed, args.scale));
-        for p in ecs::run(
-            &scenario,
-            &BeaconConfig::default(),
-            &[0.0, 0.25, 0.5, 1.0],
-        ) {
-            println!("{}", p.render_row());
-        }
-        println!();
-    }
-    if want("xavail") {
-        ran_any = true;
-        let scenario = Scenario::build(ScenarioConfig::microsoft(args.seed, args.scale));
-        let r = availability::run(&scenario, args.seed ^ 0x_a1a, &availability::RecoveryConfig::default());
-        println!("{}", r.render());
-    }
-    if want("xhybrid") {
-        ran_any = true;
-        println!("X-HYBRID (§4): anycast vs DNS vs hybrid vs oracle");
-        let scenario = Scenario::build(ScenarioConfig::microsoft(args.seed, args.scale));
-        for s in hybrid::run(
-            &scenario,
-            &BeaconConfig::default(),
-            10.0,
-        ) {
-            println!("{}", s.render_row());
-        }
-        println!();
-    }
-    if want("xfabric") {
-        ran_any = true;
-        let scenario = Scenario::build(ScenarioConfig::facebook(args.seed, args.scale));
-        let r = fabric::run(&scenario, &spray_cfg(args.scale), &EgressController::default());
-        println!("{}", r.render());
-    }
-    if want("xablate") {
-        ran_any = true;
-        println!("X-ABLATE: modeling-mechanism ablations (quality deltas)");
+                // (1) Correlated congestion: without shared destination-side
+                // keys, performance-aware routing finds far more exploitable
+                // windows — the pre-2010 literature's world.
+                out.push_str("  [correlated congestion]\n");
+                for (label, metro, lastmile, link) in [
+                    ("correlated (default)", 0.10, 0.35, 0.25),
+                    ("independent", 0.0, 0.0, 2.0),
+                ] {
+                    let mut cfg = ScenarioConfig::facebook(args.seed, args.scale);
+                    cfg.congestion.metro_events_per_day = metro;
+                    cfg.congestion.lastmile_events_per_day = lastmile;
+                    cfg.congestion.link_events_per_day = link;
+                    if label == "independent" {
+                        // Early-literature world: long, severe, route-specific
+                        // congestion episodes.
+                        cfg.congestion.event_duration_mean_min = 90.0;
+                        cfg.congestion.event_severity = (0.35, 0.7);
+                    }
+                    let scenario = Scenario::build(cfg);
+                    let study = study_egress::run(&scenario, &spray_cfg(args.scale));
+                    writeln!(
+                        out,
+                        "    {label:<22} median-improvable>=5ms {:.1}%  windows-improvable {:.1}%  degrade-together {:.0}%",
+                        study.fig1.frac_improvable_5ms * 100.0,
+                        study.episodes.frac_windows_improvable * 100.0,
+                        study.episodes.degrade_together * 100.0
+                    )
+                    .unwrap();
+                }
 
-        // (1) Correlated congestion: without shared destination-side keys,
-        // performance-aware routing finds far more exploitable windows —
-        // the pre-2010 literature's world.
-        println!("  [correlated congestion]");
-        for (label, metro, lastmile, link) in
-            [("correlated (default)", 0.10, 0.35, 0.25), ("independent", 0.0, 0.0, 2.0)]
-        {
-            let mut cfg = ScenarioConfig::facebook(args.seed, args.scale);
-            cfg.congestion.metro_events_per_day = metro;
-            cfg.congestion.lastmile_events_per_day = lastmile;
-            cfg.congestion.link_events_per_day = link;
-            if label == "independent" {
-                // Early-literature world: long, severe, route-specific
-                // congestion episodes.
-                cfg.congestion.event_duration_mean_min = 90.0;
-                cfg.congestion.event_severity = (0.35, 0.7);
-            }
-            let scenario = Scenario::build(cfg);
-            let study = study_egress::run(&scenario, &spray_cfg(args.scale));
-            println!(
-                "    {label:<22} median-improvable>=5ms {:.1}%  windows-improvable {:.1}%  degrade-together {:.0}%",
-                study.fig1.frac_improvable_5ms * 100.0,
-                study.episodes.frac_windows_improvable * 100.0,
-                study.episodes.degrade_together * 100.0
-            );
-        }
+                // (2) Exit fidelity: perfectly geographic exits kill most
+                // anycast misdirection.
+                out.push_str("  [exit fidelity]\n");
+                for (label, factor) in [("sloppy (default)", 0.72_f64), ("perfect geo", 1.0)] {
+                    let mut cfg = ScenarioConfig::microsoft(args.seed, args.scale);
+                    cfg.exit_fidelity_factor = factor;
+                    let scenario = Scenario::build(cfg);
+                    let study = study_anycast::run(
+                        &scenario,
+                        &BeaconConfig {
+                            rounds: 4,
+                            ..Default::default()
+                        },
+                    );
+                    writeln!(
+                        out,
+                        "    {label:<22} anycast within 10ms {:.1}%  tail>=100ms {:.1}%",
+                        study.fig3.frac_within_10ms * 100.0,
+                        study.fig3.frac_gt_100ms * 100.0
+                    )
+                    .unwrap();
+                }
+                out.push('\n');
+                out
+            }),
+        ),
+        (
+            "xsplit",
+            Box::new(|| {
+                let mut out = String::from("X-SPLIT (§4): split-TCP backend comparison\n");
+                let scenario = google();
+                for bytes in [30e3, 300e3, 3e6] {
+                    writeln!(out, "{}", split_tcp::run(scenario, bytes, None).render()).unwrap();
+                }
+                out
+            }),
+        ),
+    ];
 
-        // (2) Exit fidelity: perfectly geographic exits kill most anycast
-        // misdirection.
-        println!("  [exit fidelity]");
-        for (label, factor) in [("sloppy (default)", 0.72_f64), ("perfect geo", 1.0)] {
-            let mut cfg = ScenarioConfig::microsoft(args.seed, args.scale);
-            cfg.exit_fidelity_factor = factor;
-            let scenario = Scenario::build(cfg);
-            let study = study_anycast::run(
-                &scenario,
-                &BeaconConfig {
-                    rounds: 4,
-                    ..Default::default()
-                },
-            );
-            println!(
-                "    {label:<22} anycast within 10ms {:.1}%  tail>=100ms {:.1}%",
-                study.fig3.frac_within_10ms * 100.0,
-                study.fig3.frac_gt_100ms * 100.0
-            );
-        }
-        println!();
-    }
-    if want("xsplit") {
-        ran_any = true;
-        println!("X-SPLIT (§4): split-TCP backend comparison");
-        let scenario = Scenario::build(ScenarioConfig::google(args.seed, args.scale));
-        for bytes in [30e3, 300e3, 3e6] {
-            println!("{}", split_tcp::run(&scenario, bytes, None).render());
-        }
-    }
-
-    if !ran_any {
-        eprintln!(
-            "unknown experiment '{}' — try --help",
-            args.experiment
-        );
+    let selected: Vec<Exp> = experiments.into_iter().filter(|(n, _)| want(n)).collect();
+    if selected.is_empty() {
+        eprintln!("unknown experiment '{}' — try --help", args.experiment);
         std::process::exit(2);
+    }
+
+    // Run concurrently, print in order: stdout bytes do not depend on the
+    // worker count or the schedule.
+    let chunks = beating_bgp::exec::par_map(&selected, |_, (name, run)| {
+        timing::time(&format!("exp:{name}"), run)
+    });
+    let mut stdout = String::new();
+    for c in &chunks {
+        stdout.push_str(c);
+    }
+    print!("{stdout}");
+
+    if args.timing {
+        eprint!("{}", timing::report());
     }
 }

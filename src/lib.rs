@@ -33,6 +33,7 @@
 //!
 //! | re-export | crate | role |
 //! |---|---|---|
+//! | [`exec`] | `bb-exec` | deterministic parallel map, route cache, timing |
 //! | [`geo`] | `bb-geo` | coordinates, world atlas, fiber delay |
 //! | [`stats`] | `bb-stats` | weighted CDFs, quantiles, bootstrap CIs |
 //! | [`topology`] | `bb-topology` | AS graph with typed interconnects |
@@ -46,6 +47,7 @@
 pub use bb_bgp as bgp;
 pub use bb_cdn as cdn;
 pub use bb_core as core;
+pub use bb_exec as exec;
 pub use bb_geo as geo;
 pub use bb_measure as measure;
 pub use bb_netsim as netsim;

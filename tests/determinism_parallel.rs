@@ -1,0 +1,51 @@
+//! Parallel execution must be bit-identical to sequential execution.
+//!
+//! The engine's contract (see `bb-exec`): every random draw is keyed on
+//! `(seed, item)` and `par_map` merges results in input order, so the
+//! worker count can never change a figure. This test runs the two
+//! heavyweight studies at test scale under `--jobs 1` and `--jobs 4`
+//! semantics and compares the exported CSV rows byte for byte.
+
+use beating_bgp::core::{export, study_anycast, study_egress, Scale, Scenario, ScenarioConfig};
+use beating_bgp::measure::{BeaconConfig, SprayConfig};
+
+fn read(dir: &std::path::Path, name: &str) -> String {
+    std::fs::read_to_string(dir.join(name)).unwrap()
+}
+
+#[test]
+fn fig1_and_fig3_identical_for_any_job_count() {
+    let spray = SprayConfig {
+        days: 1.0,
+        window_stride: 8,
+        ..Default::default()
+    };
+
+    let mut outputs: Vec<(String, String)> = Vec::new();
+    for jobs in [1usize, 4] {
+        let dir = std::env::temp_dir().join(format!(
+            "bb_determinism_j{jobs}_{}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        beating_bgp::exec::set_jobs(jobs);
+
+        let facebook = Scenario::build(ScenarioConfig::facebook(42, Scale::Test));
+        let egress = study_egress::run(&facebook, &spray);
+        export::fig1_csv(&egress.fig1, &dir).unwrap();
+
+        let microsoft = Scenario::build(ScenarioConfig::microsoft(42, Scale::Test));
+        let anycast = study_anycast::run(&microsoft, &BeaconConfig::default());
+        export::fig3_csv(&anycast.fig3, &dir).unwrap();
+
+        outputs.push((read(&dir, "fig1.csv"), read(&dir, "fig3.csv")));
+    }
+    beating_bgp::exec::set_jobs(0);
+
+    let (fig1_seq, fig3_seq) = &outputs[0];
+    let (fig1_par, fig3_par) = &outputs[1];
+    assert!(fig1_seq.lines().count() > 10, "fig1 export is non-trivial");
+    assert!(fig3_seq.lines().count() > 10, "fig3 export is non-trivial");
+    assert_eq!(fig1_seq, fig1_par, "fig1 rows differ between jobs=1 and jobs=4");
+    assert_eq!(fig3_seq, fig3_par, "fig3 rows differ between jobs=1 and jobs=4");
+}

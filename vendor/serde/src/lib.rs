@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types for
+//! future interchange but never actually serializes through serde (CSV
+//! export is hand-rolled in `bb-core::export`). With no network access to
+//! crates.io, this crate supplies the marker traits and re-exports no-op
+//! derive macros so those derives remain valid without pulling in the real
+//! dependency tree.
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,17 @@
+//! No-op derive macros for the offline serde stand-in.
+//!
+//! The derives accept (and ignore) `#[serde(...)]` helper attributes so
+//! annotated types keep compiling; they emit no impls because nothing in
+//! the workspace serializes through serde.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
