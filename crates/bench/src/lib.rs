@@ -1,2 +1,327 @@
-//! Benchmark-only crate. The Criterion benchmark targets live in
-//! `benches/`; this library is intentionally empty.
+//! Performance telemetry for the `repro` driver.
+//!
+//! The Criterion benchmark targets live in `benches/`; this library holds
+//! the structured perf report that `repro --timing-json PATH` emits after a
+//! run. The report captures per-phase wall-clock, sample-throughput
+//! counters, plan-compile vs query time, and cache statistics so perf
+//! regressions show up as a diffable artifact (`BENCH_<scale>.json`)
+//! instead of an anecdote.
+//!
+//! The JSON writer is hand-rolled: the workspace intentionally vendors no
+//! JSON dependency, and the schema is flat enough that escaping strings and
+//! formatting numbers is all that is needed.
+
+/// Aggregated wall-clock for one timing label.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseTiming {
+    pub label: String,
+    pub total_s: f64,
+    pub calls: usize,
+}
+
+/// One named event counter (e.g. `samples:spray`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterSample {
+    pub label: String,
+    pub count: u64,
+}
+
+/// Route-table cache statistics for the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RouteCacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub resident: u64,
+}
+
+impl RouteCacheStats {
+    /// Hit rate in [0, 1]; 0 when no lookups happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Schema tag embedded in every report so downstream tooling can detect
+/// layout changes.
+pub const PERF_SCHEMA: &str = "bb-perf-report/v1";
+
+/// Structured perf report for one `repro` invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfReport {
+    pub experiment: String,
+    pub scale: String,
+    pub seed: u64,
+    pub jobs: usize,
+    /// End-to-end wall-clock of the run, seconds.
+    pub wall_s: f64,
+    /// Per-label aggregated timings, sorted by label.
+    pub phases: Vec<PhaseTiming>,
+    /// Event counters (sample counts etc.), sorted by label.
+    pub counters: Vec<CounterSample>,
+    /// Total RTT samples drawn (sum of `samples:*` counters).
+    pub total_samples: u64,
+    /// `total_samples / wall_s`; headline throughput number.
+    pub samples_per_sec: f64,
+    /// Time spent compiling congestion/path plans (sum of `*:plan` labels).
+    pub plan_compile_s: f64,
+    /// Time spent querying compiled plans in measurement hot loops
+    /// (sum of `*:windows` labels).
+    pub plan_query_s: f64,
+    pub route_cache: RouteCacheStats,
+    /// Congestion-process double-materializations avoided by the
+    /// write-lock double-check (nonzero only under `--jobs > 1`).
+    pub congestion_races_closed: u64,
+}
+
+impl PerfReport {
+    /// Derive the roll-up fields (`total_samples`, `samples_per_sec`,
+    /// `plan_compile_s`, `plan_query_s`) from `phases` and `counters`.
+    pub fn finalize(mut self) -> Self {
+        self.total_samples = self
+            .counters
+            .iter()
+            .filter(|c| c.label.starts_with("samples:"))
+            .map(|c| c.count)
+            .sum();
+        self.samples_per_sec = if self.wall_s > 0.0 {
+            self.total_samples as f64 / self.wall_s
+        } else {
+            0.0
+        };
+        self.plan_compile_s = self
+            .phases
+            .iter()
+            .filter(|p| p.label.ends_with(":plan"))
+            .map(|p| p.total_s)
+            .sum();
+        self.plan_query_s = self
+            .phases
+            .iter()
+            .filter(|p| p.label.ends_with(":windows"))
+            .map(|p| p.total_s)
+            .sum();
+        self
+    }
+
+    /// Render as pretty-printed JSON (two-space indent, stable key order).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(2048);
+        out.push_str("{\n");
+        json_kv_str(&mut out, "schema", PERF_SCHEMA, true);
+        json_kv_str(&mut out, "experiment", &self.experiment, true);
+        json_kv_str(&mut out, "scale", &self.scale, true);
+        json_kv_raw(&mut out, "seed", &self.seed.to_string(), true);
+        json_kv_raw(&mut out, "jobs", &self.jobs.to_string(), true);
+        json_kv_raw(&mut out, "wall_s", &json_f64(self.wall_s), true);
+        json_kv_raw(&mut out, "total_samples", &self.total_samples.to_string(), true);
+        json_kv_raw(&mut out, "samples_per_sec", &json_f64(self.samples_per_sec), true);
+        json_kv_raw(&mut out, "plan_compile_s", &json_f64(self.plan_compile_s), true);
+        json_kv_raw(&mut out, "plan_query_s", &json_f64(self.plan_query_s), true);
+
+        out.push_str("  \"phases\": [\n");
+        for (i, p) in self.phases.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"label\": {}, \"total_s\": {}, \"calls\": {}}}",
+                json_str(&p.label),
+                json_f64(p.total_s),
+                p.calls
+            ));
+            if i + 1 < self.phases.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ],\n");
+
+        out.push_str("  \"counters\": [\n");
+        for (i, c) in self.counters.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"label\": {}, \"count\": {}}}",
+                json_str(&c.label),
+                c.count
+            ));
+            if i + 1 < self.counters.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ],\n");
+
+        out.push_str(&format!(
+            "  \"route_cache\": {{\"hits\": {}, \"misses\": {}, \"resident\": {}, \"hit_rate\": {}}},\n",
+            self.route_cache.hits,
+            self.route_cache.misses,
+            self.route_cache.resident,
+            json_f64(self.route_cache.hit_rate())
+        ));
+
+        json_kv_raw(
+            &mut out,
+            "congestion_races_closed",
+            &self.congestion_races_closed.to_string(),
+            false,
+        );
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Format an f64 as a JSON number. NaN/inf have no JSON representation;
+/// they become null (they only arise from a zero-duration run).
+fn json_f64(x: f64) -> String {
+    // An empty `Iterator::sum::<f64>()` is -0.0; render it as plain 0.
+    let x = if x == 0.0 { 0.0 } else { x };
+    if x.is_finite() {
+        // Enough digits to round-trip timings; trailing zeros trimmed for
+        // stable, readable diffs.
+        let s = format!("{x:.6}");
+        let s = s.trim_end_matches('0');
+        let s = s.strip_suffix('.').unwrap_or(s);
+        s.to_string()
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Escape a string per JSON (RFC 8259 §7).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_kv_str(out: &mut String, key: &str, val: &str, comma: bool) {
+    json_kv_raw(out, key, &json_str(val), comma);
+}
+
+fn json_kv_raw(out: &mut String, key: &str, val: &str, comma: bool) {
+    out.push_str(&format!("  \"{key}\": {val}"));
+    if comma {
+        out.push(',');
+    }
+    out.push('\n');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> PerfReport {
+        PerfReport {
+            experiment: "all".into(),
+            scale: "test".into(),
+            seed: 42,
+            jobs: 1,
+            wall_s: 2.0,
+            phases: vec![
+                PhaseTiming {
+                    label: "spray:plan".into(),
+                    total_s: 0.002,
+                    calls: 3,
+                },
+                PhaseTiming {
+                    label: "spray:windows".into(),
+                    total_s: 1.25,
+                    calls: 3,
+                },
+            ],
+            counters: vec![
+                CounterSample {
+                    label: "samples:spray".into(),
+                    count: 1_000_000,
+                },
+                CounterSample {
+                    label: "samples:probe".into(),
+                    count: 500_000,
+                },
+            ],
+            total_samples: 0,
+            samples_per_sec: 0.0,
+            plan_compile_s: 0.0,
+            plan_query_s: 0.0,
+            route_cache: RouteCacheStats {
+                hits: 10,
+                misses: 30,
+                resident: 30,
+            },
+            congestion_races_closed: 0,
+        }
+        .finalize()
+    }
+
+    #[test]
+    fn finalize_rolls_up_derived_fields() {
+        let r = sample_report();
+        assert_eq!(r.total_samples, 1_500_000);
+        assert_eq!(r.samples_per_sec, 750_000.0);
+        assert_eq!(r.plan_compile_s, 0.002);
+        assert_eq!(r.plan_query_s, 1.25);
+    }
+
+    #[test]
+    fn json_contains_schema_and_keys() {
+        let j = sample_report().to_json();
+        for key in [
+            "\"schema\": \"bb-perf-report/v1\"",
+            "\"experiment\": \"all\"",
+            "\"scale\": \"test\"",
+            "\"seed\": 42",
+            "\"jobs\": 1",
+            "\"wall_s\": 2",
+            "\"total_samples\": 1500000",
+            "\"samples_per_sec\": 750000",
+            "\"plan_compile_s\": 0.002",
+            "\"plan_query_s\": 1.25",
+            "\"phases\": [",
+            "\"counters\": [",
+            "\"route_cache\": {",
+            "\"hit_rate\": 0.25",
+            "\"congestion_races_closed\": 0",
+        ] {
+            assert!(j.contains(key), "missing {key} in:\n{j}");
+        }
+        // Crude but effective structural checks for hand-rolled JSON.
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+        assert!(!j.contains(",\n}"), "trailing comma before object close");
+        assert!(!j.contains(",\n  ]"), "trailing comma before array close");
+    }
+
+    #[test]
+    fn json_escapes_strings() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn json_f64_trims_and_handles_nonfinite() {
+        assert_eq!(json_f64(1.5), "1.5");
+        assert_eq!(json_f64(2.0), "2");
+        assert_eq!(json_f64(0.000001), "0.000001");
+        assert_eq!(json_f64(-0.0), "0");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn hit_rate_handles_empty_cache() {
+        assert_eq!(RouteCacheStats::default().hit_rate(), 0.0);
+    }
+}

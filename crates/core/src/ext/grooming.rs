@@ -85,8 +85,9 @@ pub fn ungroomed_announcement(scenario: &Scenario, seed: u64) -> Announcement {
 
 /// Run the grooming loop for up to `iterations` trial rounds.
 pub fn run(scenario: &Scenario, seed: u64, iterations: usize) -> Vec<GroomingStep> {
+    let plan = GroomingPlan::compile(scenario);
     let mut ann = ungroomed_announcement(scenario, seed);
-    let mut eval = evaluate(scenario, &ann);
+    let mut eval = evaluate_with(scenario, &ann, &plan);
     let mut steps = vec![step_from(0, &eval, None)];
     let mut blacklist: HashSet<CityId> = HashSet::new();
 
@@ -108,7 +109,7 @@ pub fn run(scenario: &Scenario, seed: u64, iterations: usize) -> Vec<GroomingSte
                 trial.offer(link, 0);
             }
         }
-        let trial_eval = evaluate(scenario, &trial);
+        let trial_eval = evaluate_with(scenario, &trial, &plan);
         // Keep only if measurements improve across the board: better mean
         // without regressing the tail. A mean-only criterion can trade a
         // worse p90/bad-fraction for a better average, which is not a
@@ -150,33 +151,63 @@ fn step_from(iteration: usize, eval: &Eval, repaired_site: Option<u32>) -> Groom
     }
 }
 
+/// Announcement-invariant per-prefix context: the desired (nearest) site
+/// and the ideal RTT to it depend only on geography, yet the trial loop
+/// re-evaluates announcements a dozen times per run. Compile them once.
+struct GroomingPlan {
+    /// `(desired site, ideal RTT)` per workload prefix, index-aligned.
+    per_prefix: Vec<(CityId, f64)>,
+}
+
+impl GroomingPlan {
+    fn compile(scenario: &Scenario) -> Self {
+        let topo = &scenario.topo;
+        let provider = &scenario.provider;
+        let per_prefix = bb_exec::par_map(&scenario.workload.prefixes, |_, p| {
+            let desired = provider.nearest_pop(topo, p.city);
+            let ideal = bb_geo::min_rtt_ms(
+                topo.atlas
+                    .city(desired)
+                    .location
+                    .distance_km(&topo.atlas.city(p.city).location),
+            ) + bb_netsim::rtt::ACCESS_BASE_MS;
+            (desired, ideal)
+        });
+        Self { per_prefix }
+    }
+}
+
 fn evaluate(scenario: &Scenario, ann: &Announcement) -> Eval {
+    evaluate_with(scenario, ann, &GroomingPlan::compile(scenario))
+}
+
+fn evaluate_with(scenario: &Scenario, ann: &Announcement, plan: &GroomingPlan) -> Eval {
     let topo = &scenario.topo;
     let provider = &scenario.provider;
     let sites = provider.pops.clone();
     let dep = AnycastDeployment::deploy_with(topo, provider, &sites, ann.clone());
 
-    let mut points: Vec<(f64, f64)> = Vec::new();
-    // BTreeMap: deterministic order so the operator's pick is stable when
-    // two sites tie on suffering.
-    let mut suffering: std::collections::BTreeMap<CityId, f64> = Default::default();
-    for p in &scenario.workload.prefixes {
-        let desired = provider.nearest_pop(topo, p.city);
-        let ideal = bb_geo::min_rtt_ms(
-            topo.atlas
-                .city(desired)
-                .location
-                .distance_km(&topo.atlas.city(p.city).location),
-        ) + bb_netsim::rtt::ACCESS_BASE_MS;
-
-        let pen = match dep.serve(topo, provider, p.asn, p.city) {
+    // Serve every prefix in parallel (in-order results), then aggregate
+    // sequentially in prefix order so sums and tie-breaks are stable.
+    let penalties: Vec<f64> = bb_exec::par_map(&scenario.workload.prefixes, |pi, p| {
+        let (_, ideal) = plan.per_prefix[pi];
+        match dep.serve(topo, provider, p.asn, p.city) {
             Some(svc) => {
                 let rtt = path_base_rtt_ms(topo, &svc.path) + 2.0 * svc.wan_extra_ms;
                 (rtt - ideal).max(0.0)
             }
             // Unserved under a withheld config: maximal penalty.
             None => 200.0,
-        };
+        }
+    });
+
+    let mut points: Vec<(f64, f64)> = Vec::new();
+    // BTreeMap: deterministic order so the operator's pick is stable when
+    // two sites tie on suffering.
+    let mut suffering: std::collections::BTreeMap<CityId, f64> = Default::default();
+    for (pi, p) in scenario.workload.prefixes.iter().enumerate() {
+        let (desired, _) = plan.per_prefix[pi];
+        let pen = penalties[pi];
         points.push((pen, p.weight));
         if pen >= 5.0 {
             *suffering.entry(desired).or_insert(0.0) += pen * p.weight;

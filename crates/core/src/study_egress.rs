@@ -55,7 +55,7 @@ pub fn run(scenario: &Scenario, spray_cfg: &SprayConfig) -> EgressStudy {
         &scenario.congestion,
         spray_cfg,
     );
-    analyze(scenario, spray_cfg, dataset)
+    bb_exec::timing::time("egress:analyze", || analyze(scenario, spray_cfg, dataset))
 }
 
 /// Analyze an already-collected spray dataset.
@@ -131,17 +131,24 @@ pub fn analyze(scenario: &Scenario, spray_cfg: &SprayConfig, dataset: SprayDatas
     }
 
     // --- Figure 1 ---
+    // Per-group bootstrap CIs are independent and seeded per (pop, prefix):
+    // run them in parallel, in-order.
+    let keys: Vec<_> = groups.keys().copied().collect();
+    let cis = bb_exec::timing::time("egress:fig1-ci", || {
+        bb_exec::par_map(&keys, |_, &(pop, prefix)| {
+            bootstrap_median_ci(
+                &groups[&(pop, prefix)].window_diffs,
+                0.95,
+                120,
+                scenario.config.seed ^ ((pop.0 as u64) << 32) ^ prefix.0 as u64,
+            )
+            .expect("non-empty group")
+        })
+    });
     let mut point = Vec::new();
     let mut lower = Vec::new();
     let mut upper = Vec::new();
-    for ((pop, prefix), agg) in &groups {
-        let ci = bootstrap_median_ci(
-            &agg.window_diffs,
-            0.95,
-            120,
-            scenario.config.seed ^ ((pop.0 as u64) << 32) ^ prefix.0 as u64,
-        )
-        .expect("non-empty group");
+    for (agg, ci) in groups.values().zip(&cis) {
         point.push((ci.point, agg.volume));
         lower.push((ci.lower, agg.volume));
         upper.push((ci.upper, agg.volume));

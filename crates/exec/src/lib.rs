@@ -234,6 +234,37 @@ pub mod timing {
         REG.get_or_init(|| Mutex::new(BTreeMap::new()))
     }
 
+    fn counter_registry() -> &'static Mutex<BTreeMap<String, u64>> {
+        static REG: OnceLock<Mutex<BTreeMap<String, u64>>> = OnceLock::new();
+        REG.get_or_init(|| Mutex::new(BTreeMap::new()))
+    }
+
+    /// Add `n` to the named event counter (e.g. RTT samples drawn). Called
+    /// once per batch, never per event.
+    pub fn add_count(label: &str, n: usize) {
+        let mut reg = counter_registry().lock();
+        *reg.entry(label.to_string()).or_insert(0) += n as u64;
+    }
+
+    /// All counters accumulated since the last [`reset`], label-sorted.
+    pub fn counters() -> Vec<(String, u64)> {
+        counter_registry()
+            .lock()
+            .iter()
+            .map(|(k, &v)| (k.clone(), v))
+            .collect()
+    }
+
+    /// All timing phases accumulated since the last [`reset`]:
+    /// `(label, total seconds, calls)`, label-sorted.
+    pub fn snapshot() -> Vec<(String, f64, usize)> {
+        registry()
+            .lock()
+            .iter()
+            .map(|(k, e)| (k.clone(), e.total.as_secs_f64(), e.calls))
+            .collect()
+    }
+
     /// Add one observation of `label` taking `elapsed`.
     pub fn record(label: &str, elapsed: Duration) {
         let mut reg = registry().lock();
@@ -253,9 +284,11 @@ pub mod timing {
         out
     }
 
-    /// Forget all recorded timings (tests; between repro invocations).
+    /// Forget all recorded timings and counters (tests; between repro
+    /// invocations).
     pub fn reset() {
         registry().lock().clear();
+        counter_registry().lock().clear();
     }
 
     /// Render the timing table plus route-cache counters.
@@ -269,6 +302,9 @@ pub mod timing {
                 e.total.as_secs_f64(),
                 e.calls
             ));
+        }
+        for (label, n) in counters() {
+            out.push_str(&format!("{label:<width$}  {n:>10} events\n"));
         }
         let (hits, misses, resident) = super::cache_stats();
         let total = hits + misses;

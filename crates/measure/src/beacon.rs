@@ -8,7 +8,9 @@
 
 use bb_cdn::{AnycastDeployment, Provider};
 use bb_geo::{CityId, Region};
-use bb_netsim::{path_rtt_ms, sample_min_rtt, CongestionKey, CongestionModel, RttModel, SimTime};
+use bb_netsim::{
+    sample_min_rtt, CongestionKey, CongestionModel, CongestionPlan, PathPlan, RttModel, SimTime,
+};
 use bb_topology::Topology;
 use bb_workload::{PrefixId, Workload};
 use rand::rngs::StdRng;
@@ -128,6 +130,17 @@ pub fn run_beacons(
             return None;
         }
 
+        // Compile each service's path once; rounds then query the plans.
+        let cplan = CongestionPlan::new(congestion);
+        let compile = |svc: &bb_cdn::anycast::ClientService| {
+            cplan.compile_path(topo, &svc.path, Some(lastmile))
+        };
+        let any_plan = compile(&any_svc);
+        let uni_plans: Vec<(CityId, PathPlan, f64)> = uni_svcs
+            .iter()
+            .map(|(s, svc)| (*s, compile(svc), svc.wan_extra_ms))
+            .collect();
+
         let mut rows = Vec::with_capacity(cfg.rounds);
         for round in 0..cfg.rounds {
             let t = SimTime::from_hours(round as f64 * cfg.round_spacing_h);
@@ -135,17 +148,15 @@ pub fn run_beacons(
                 cfg.seed ^ (prefix.id.0 as u64) << 20 ^ round as u64,
             );
 
-            let measure = |svc: &bb_cdn::anycast::ClientService, rng: &mut StdRng| {
-                let det = path_rtt_ms(topo, congestion, &svc.path, Some(lastmile), t)
-                    + 2.0 * svc.wan_extra_ms
-                    + FRONTEND_PROCESS_MS;
+            let measure = |plan: &PathPlan, wan_extra_ms: f64, rng: &mut StdRng| {
+                let det = plan.rtt_ms(t) + 2.0 * wan_extra_ms + FRONTEND_PROCESS_MS;
                 sample_min_rtt(det, &rtt_model, cfg.samples, rng)
             };
 
-            let anycast_rtt_ms = measure(&any_svc, &mut rng);
-            let unicast_rtt_ms: Vec<(CityId, f64)> = uni_svcs
+            let anycast_rtt_ms = measure(&any_plan, any_svc.wan_extra_ms, &mut rng);
+            let unicast_rtt_ms: Vec<(CityId, f64)> = uni_plans
                 .iter()
-                .map(|(s, svc)| (*s, measure(svc, &mut rng)))
+                .map(|(s, plan, wan)| (*s, measure(plan, *wan, &mut rng)))
                 .collect();
 
             rows.push(BeaconMeasurement {
@@ -160,7 +171,10 @@ pub fn run_beacons(
         }
         Some(rows)
     });
-    per_prefix.into_iter().flatten().flatten().collect()
+    let measurements: Vec<BeaconMeasurement> = per_prefix.into_iter().flatten().flatten().collect();
+    let draws: usize = measurements.iter().map(|m| 1 + m.unicast_rtt_ms.len()).sum();
+    bb_exec::timing::add_count("samples:beacon", draws * cfg.samples);
+    measurements
 }
 
 /// Build the per-site unicast deployments for a set of sites.

@@ -8,7 +8,9 @@
 
 use bb_cdn::{Provider, Tier, TierDeployment};
 use bb_geo::{CityId, CountryIdx};
-use bb_netsim::{path_rtt_ms, sample_min_rtt, CongestionKey, CongestionModel, RttModel, SimTime};
+use bb_netsim::{
+    sample_min_rtt, CongestionKey, CongestionModel, CongestionPlan, RttModel, SimTime,
+};
 use bb_topology::{AsClass, AsId, Topology};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -108,6 +110,7 @@ pub fn probe_tiers(
     let per_vp: Vec<Vec<TierProbe>> = bb_exec::par_map(vps, |vi, vp| {
         let mut out = Vec::new();
         let lastmile = CongestionKey::LastMile(0x_caa0_0000 | vi as u64);
+        let cplan = CongestionPlan::new(congestion);
         for (tier, dep) in [(Tier::Premium, premium), (Tier::Standard, standard)] {
             let Some(tp) = dep.reach(topo, provider, vp.asn, vp.city) else {
                 continue;
@@ -118,10 +121,11 @@ pub fn probe_tiers(
                 .location
                 .distance_km(&topo.atlas.city(vp.city).location);
 
+            // Compile the tier path once; rounds query the plan.
+            let plan = cplan.compile_path(topo, &tp.path, Some(lastmile));
             for round in 0..cfg.rounds {
                 let t = SimTime::from_hours(round as f64 * cfg.round_spacing_h);
-                let det = path_rtt_ms(topo, congestion, &tp.path, Some(lastmile), t)
-                    + 2.0 * tp.wan_ms;
+                let det = plan.rtt_ms(t) + 2.0 * tp.wan_ms;
                 let mut rng = StdRng::seed_from_u64(
                     cfg.seed ^ (vi as u64) << 24 ^ (round as u64) << 2 ^ tier as u64,
                 );
@@ -139,7 +143,9 @@ pub fn probe_tiers(
         }
         out
     });
-    per_vp.into_iter().flatten().collect()
+    let probes: Vec<TierProbe> = per_vp.into_iter().flatten().collect();
+    bb_exec::timing::add_count("samples:probe", probes.len() * cfg.pings);
+    probes
 }
 
 #[cfg(test)]

@@ -12,8 +12,8 @@ use bb_bgp::{provider_rib, Announcement, ProviderRouteClass};
 use bb_cdn::Provider;
 use bb_geo::CityId;
 use bb_netsim::{
-    path_rtt_ms, realize_path, sample_min_rtt, CongestionKey, CongestionModel, RealizeSpec,
-    RealizedPath, RttModel, SimTime, Window,
+    realize_path, sample_min_rtt, CongestionKey, CongestionModel, CongestionPlan, PathPlan,
+    RealizeSpec, RealizedPath, RttModel, SimTime, UtilProbe, Window,
 };
 use bb_topology::{AsId, InterconnectId, Topology};
 use bb_workload::{PrefixId, Workload};
@@ -105,7 +105,9 @@ pub fn spray(
     congestion: &CongestionModel,
     cfg: &SprayConfig,
 ) -> SprayDataset {
-    let targets = build_targets(topo, provider, workload, cfg.top_k);
+    let targets = bb_exec::timing::time("spray:targets", || {
+        build_targets(topo, provider, workload, cfg.top_k)
+    });
     let rtt_model = RttModel::default();
 
     let horizon = SimTime::from_days(cfg.days);
@@ -113,63 +115,91 @@ pub fn spray(
         .filter(|w| w.0 % cfg.window_stride == 0)
         .collect();
 
+    // Compile every route's measurement plan once: the per-window query is
+    // then a fold over resolved congestion handles, with no topology
+    // lookups and no model lock on the hot path.
+    struct RoutePlan {
+        rtt: PathPlan,
+        egress_util: UtilProbe,
+    }
+    let plans: Vec<Vec<RoutePlan>> = bb_exec::timing::time("spray:plan", || {
+        let cplan = CongestionPlan::new(congestion);
+        bb_exec::par_map(&targets, |_, target| {
+            let lastmile = CongestionKey::LastMile(target.prefix.lastmile_code());
+            target
+                .routes
+                .iter()
+                .map(|route| {
+                    let link_city = topo.link(route.egress_link).city;
+                    let link_offset = topo.atlas.city(link_city).region.utc_offset_hours();
+                    RoutePlan {
+                        rtt: cplan.compile_path(topo, &route.path, Some(lastmile)),
+                        egress_util: cplan
+                            .probe(CongestionKey::Link(route.egress_link), link_offset),
+                    }
+                })
+                .collect()
+        })
+    });
+
     // One task per target; each task's RNG streams are keyed on
     // (seed, window, target index, route index), so the rows are identical
     // for every worker count, and the in-order flatten keeps the row order
     // of the old sequential nesting (target-major, window-minor).
-    let per_target: Vec<Vec<WindowRow>> = bb_exec::par_map(&targets, |ti, target| {
-        let prefix = workload.prefix(target.prefix);
-        let lastmile = CongestionKey::LastMile(target.prefix.lastmile_code());
-        let client_offset = topo
-            .atlas
-            .city(prefix.city)
-            .region
-            .utc_offset_hours();
+    let per_target: Vec<Vec<WindowRow>> =
+        bb_exec::timing::time("spray:windows", || bb_exec::par_map(&targets, |ti, target| {
+            let prefix = workload.prefix(target.prefix);
+            let client_offset = topo
+                .atlas
+                .city(prefix.city)
+                .region
+                .utc_offset_hours();
 
-        let mut rows = Vec::with_capacity(windows.len());
-        for &w in &windows {
-            let t = w.midpoint();
-            let mut medians = Vec::with_capacity(target.routes.len());
-            let mut utils = Vec::with_capacity(target.routes.len());
-            for (ri, route) in target.routes.iter().enumerate() {
-                let det = path_rtt_ms(topo, congestion, &route.path, Some(lastmile), t);
-                // Deterministic per (seed, window, target, route) sampling.
-                let mut rng = StdRng::seed_from_u64(
-                    cfg.seed
-                        ^ (w.0 as u64) << 40
-                        ^ (ti as u64) << 8
-                        ^ ri as u64,
-                );
-                let mut sessions: Vec<f64> = (0..cfg.sessions_per_window)
-                    .map(|_| {
-                        sample_min_rtt(det, &rtt_model, cfg.rtt_samples_per_session, &mut rng)
-                    })
-                    .collect();
-                sessions.sort_by(|a, b| a.total_cmp(b));
-                medians.push(bb_stats::quantile::quantile_sorted(&sessions, 0.5));
-
-                let link = topo.link(route.egress_link);
-                let link_offset = topo.atlas.city(link.city).region.utc_offset_hours();
-                utils.push(congestion.utilization(
-                    CongestionKey::Link(route.egress_link),
-                    link_offset,
-                    t,
-                ));
+            // Session scratch, reused across every (window, route) of this
+            // target; quantile_select matches the old clone-and-sort median
+            // bit-for-bit.
+            let mut sessions = vec![0.0_f64; cfg.sessions_per_window];
+            let mut rows = Vec::with_capacity(windows.len());
+            for &w in &windows {
+                let t = w.midpoint();
+                let mut medians = Vec::with_capacity(target.routes.len());
+                let mut utils = Vec::with_capacity(target.routes.len());
+                for (ri, plan) in plans[ti].iter().enumerate() {
+                    let det = plan.rtt.rtt_ms(t);
+                    // Deterministic per (seed, window, target, route) sampling.
+                    let mut rng = StdRng::seed_from_u64(
+                        cfg.seed
+                            ^ (w.0 as u64) << 40
+                            ^ (ti as u64) << 8
+                            ^ ri as u64,
+                    );
+                    for s in sessions.iter_mut() {
+                        *s = sample_min_rtt(det, &rtt_model, cfg.rtt_samples_per_session, &mut rng);
+                    }
+                    medians.push(bb_stats::quantile::quantile_select(&mut sessions, 0.5));
+                    utils.push(plan.egress_util.utilization(t));
+                }
+                let volume =
+                    prefix.weight * bb_workload::diurnal_activity(t.local_hour(client_offset));
+                rows.push(WindowRow {
+                    window: w,
+                    pop: target.pop,
+                    prefix: target.prefix,
+                    route_median_ms: medians,
+                    route_util: utils,
+                    volume,
+                });
             }
-            let volume =
-                prefix.weight * bb_workload::diurnal_activity(t.local_hour(client_offset));
-            rows.push(WindowRow {
-                window: w,
-                pop: target.pop,
-                prefix: target.prefix,
-                route_median_ms: medians,
-                route_util: utils,
-                volume,
-            });
-        }
-        rows
-    });
+            rows
+        }));
     let rows: Vec<WindowRow> = per_target.into_iter().flatten().collect();
+
+    let route_windows: usize = targets.iter().map(|t| t.routes.len()).sum::<usize>()
+        * windows.len();
+    bb_exec::timing::add_count(
+        "samples:spray",
+        route_windows * cfg.sessions_per_window * cfg.rtt_samples_per_session,
+    );
 
     SprayDataset { targets, rows }
 }

@@ -26,6 +26,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// What a congestion process is attached to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -100,19 +102,74 @@ pub struct CongestionEvent {
     pub severity: f64,
 }
 
+/// The materialized utilization process of one key: base + diurnal
+/// amplitude plus a start-sorted, non-overlapping event list (generation
+/// spaces events by `duration + gap` with `gap > 0`, so at most one event
+/// is active at any instant and a binary search finds it).
+///
+/// Handles to a `KeyProcess` ([`Arc`]) are what plan compilation hands out:
+/// querying through a handle touches no lock and hashes no key.
 #[derive(Debug, Clone)]
-struct KeyProcess {
+pub struct KeyProcess {
     base: f64,
     amp: f64,
     events: Vec<CongestionEvent>,
 }
 
+impl KeyProcess {
+    /// Utilization at `t` with the diurnal term phased to
+    /// `utc_offset_hours`, capped at `max_util`.
+    ///
+    /// Bit-identical to the historical linear-scan evaluation: the sum is
+    /// `base + amp·D + severity` in that order, and non-overlap means the
+    /// single active event contributes exactly the same term the scan's
+    /// `+=` loop did.
+    #[inline]
+    pub fn utilization(&self, utc_offset_hours: f64, t: SimTime, max_util: f64) -> f64 {
+        let local_h = t.local_hour(utc_offset_hours);
+        // Peaks at 20:00 local, troughs at 08:00.
+        let diurnal = 0.5 * (1.0 + ((local_h - 14.0) / 24.0 * std::f64::consts::TAU).sin());
+        let mut util = self.base + self.amp * diurnal;
+        if let Some(sev) = self.active_severity(t) {
+            util += sev;
+        }
+        util.min(max_util)
+    }
+
+    /// Severity of the event active at `t`, if any.
+    #[inline]
+    pub fn active_severity(&self, t: SimTime) -> Option<f64> {
+        let m = t.minutes();
+        // First event with start_min > m; the only candidate is the one
+        // before it (starts are strictly increasing).
+        let i = self.events.partition_point(|e| e.start_min <= m);
+        let e = self.events.get(i.checked_sub(1)?)?;
+        (m < e.end_min).then_some(e.severity)
+    }
+
+    /// The event list, start-sorted and non-overlapping.
+    pub fn events(&self) -> &[CongestionEvent] {
+        &self.events
+    }
+}
+
+/// Times the read→write upgrade in [`CongestionModel::process`] found the
+/// key already inserted by a racing worker — i.e. double materializations
+/// that the write-lock double-check prevented. Reported under `--timing`.
+static MATERIALIZE_RACES_CLOSED: AtomicUsize = AtomicUsize::new(0);
+
+/// Process-wide count of closed materialization races (see
+/// [`MATERIALIZE_RACES_CLOSED`]).
+pub fn materialize_races_closed() -> usize {
+    MATERIALIZE_RACES_CLOSED.load(Ordering::Relaxed)
+}
+
 /// The congestion plane. Cheap to share by reference; processes are cached
-/// behind a lock.
+/// behind a lock as shared handles.
 pub struct CongestionModel {
     seed: u64,
     cfg: CongestionConfig,
-    cache: RwLock<HashMap<u64, KeyProcess>>,
+    cache: RwLock<HashMap<u64, Arc<KeyProcess>>>,
 }
 
 impl CongestionModel {
@@ -131,17 +188,8 @@ impl CongestionModel {
     /// Utilization of `key` at time `t`, with the diurnal term phased to
     /// `utc_offset_hours` local time.
     pub fn utilization(&self, key: CongestionKey, utc_offset_hours: f64, t: SimTime) -> f64 {
-        let proc = self.process(key);
-        let local_h = t.local_hour(utc_offset_hours);
-        // Peaks at 20:00 local, troughs at 08:00.
-        let diurnal = 0.5 * (1.0 + ((local_h - 14.0) / 24.0 * std::f64::consts::TAU).sin());
-        let mut util = proc.base + proc.amp * diurnal;
-        for e in &proc.events {
-            if t.minutes() >= e.start_min && t.minutes() < e.end_min {
-                util += e.severity;
-            }
-        }
-        util.min(self.cfg.max_util)
+        self.process(key)
+            .utilization(utc_offset_hours, t, self.cfg.max_util)
     }
 
     /// Queueing delay implied by utilization at `t` (one direction, ms).
@@ -158,10 +206,7 @@ impl CongestionModel {
 
     /// Whether a transient event is active on `key` at `t`.
     pub fn event_active(&self, key: CongestionKey, t: SimTime) -> bool {
-        self.process(key)
-            .events
-            .iter()
-            .any(|e| t.minutes() >= e.start_min && t.minutes() < e.end_min)
+        self.process(key).active_severity(t).is_some()
     }
 
     /// All events of a key (for analysis / tests).
@@ -169,13 +214,24 @@ impl CongestionModel {
         self.process(key).events.clone()
     }
 
-    fn process(&self, key: CongestionKey) -> KeyProcess {
+    /// Shared handle to `key`'s materialized process. This is the lookup
+    /// plan compilation performs once per key; queries then go through the
+    /// handle with no lock and no hash.
+    pub fn process(&self, key: CongestionKey) -> Arc<KeyProcess> {
         let code = key.encode();
         if let Some(p) = self.cache.read().get(&code) {
-            return p.clone();
+            return Arc::clone(p);
         }
-        let p = self.materialize(key);
-        self.cache.write().entry(code).or_insert(p.clone());
+        // Miss: take the write lock, then re-check. Without the re-check a
+        // racing worker could materialize the same key between our read and
+        // write, wasting a full event-list generation.
+        let mut cache = self.cache.write();
+        if let Some(p) = cache.get(&code) {
+            MATERIALIZE_RACES_CLOSED.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(p);
+        }
+        let p = Arc::new(self.materialize(key));
+        cache.insert(code, Arc::clone(&p));
         p
     }
 
@@ -204,6 +260,10 @@ impl CongestionModel {
                 t += dur + exp_sample(&mut rng, mean_gap_min);
             }
         }
+        debug_assert!(
+            events.windows(2).all(|w| w[0].end_min < w[1].start_min),
+            "events must be start-sorted and non-overlapping for binary search"
+        );
         KeyProcess { base, amp, events }
     }
 }

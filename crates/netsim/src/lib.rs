@@ -13,6 +13,10 @@
 //!   routes to a client, producing §3.1.1's correlated degradation;
 //! * [`rtt`] turns a realized path plus the congestion state at time *t*
 //!   into an RTT sample, and models TCP MinRTT sampling;
+//! * [`plan`] compiles the window-invariant part of a measurement —
+//!   topology lookups and congestion-key resolution — once per realized
+//!   path, so the per-window query is a branch-free fold over resolved
+//!   handles (bit-identical to the naive walk);
 //! * [`goodput`] is a Mathis-style throughput model for the paper's
 //!   footnote-3 goodput comparison;
 //! * [`time`] holds the simulation clock (minutes) and the 15-minute
@@ -25,10 +29,14 @@ pub mod congestion;
 pub mod failure;
 pub mod goodput;
 pub mod path;
+pub mod plan;
 pub mod rtt;
 pub mod time;
 
-pub use congestion::{CongestionConfig, CongestionKey, CongestionModel};
+pub use congestion::{
+    materialize_races_closed, CongestionConfig, CongestionKey, CongestionModel, KeyProcess,
+};
+pub use plan::{CongestionPlan, PathPlan, UtilProbe};
 pub use failure::{FailureConfig, FailureKey, FailureModel, Outage};
 pub use goodput::goodput_mbps;
 pub use path::{realize_path, RealizeSpec, RealizedPath, Segment, TracerouteHop};

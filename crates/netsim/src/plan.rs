@@ -1,0 +1,219 @@
+//! Compiled measurement plans: resolve the window-invariant part of a
+//! measurement once, query the time-varying part with table reads.
+//!
+//! Every study samples the same realized paths across hundreds of time
+//! windows. The naive walk ([`path_rtt_ms`](crate::path_rtt_ms)) redoes the
+//! invariant work on every sample: per-link `topo.link` → `atlas.city` →
+//! `region.utc_offset_hours()` lookups, plus a lock acquisition and a hash
+//! per congestion key. [`CongestionPlan`] resolves each
+//! [`CongestionKey`](crate::CongestionKey) once into a shared
+//! [`KeyProcess`] handle, and [`PathPlan`] compiles a whole
+//! [`RealizedPath`] into its base RTT plus a flat `(process, utc offset)`
+//! term list in the exact order of the naive walk — so
+//! [`PathPlan::rtt_ms`] is a branch-free fold that is **bit-identical** to
+//! `path_rtt_ms` (same f64 summation order; `tests/proptest_stats_netsim.rs`
+//! checks the equivalence over random worlds).
+
+use crate::congestion::{CongestionKey, CongestionModel, KeyProcess};
+use crate::path::RealizedPath;
+use crate::rtt::path_base_rtt_ms;
+use crate::time::SimTime;
+use bb_topology::Topology;
+use std::sync::Arc;
+
+/// Key resolver over one [`CongestionModel`]: each lookup is the model's
+/// one-time lock-and-hash; everything handed out queries lock-free.
+pub struct CongestionPlan<'a> {
+    model: &'a CongestionModel,
+    queue_d0_ms: f64,
+    max_util: f64,
+}
+
+impl<'a> CongestionPlan<'a> {
+    pub fn new(model: &'a CongestionModel) -> Self {
+        let cfg = model.config();
+        Self {
+            model,
+            queue_d0_ms: cfg.queue_d0_ms,
+            max_util: cfg.max_util,
+        }
+    }
+
+    /// Shared handle to `key`'s process.
+    pub fn handle(&self, key: CongestionKey) -> Arc<KeyProcess> {
+        self.model.process(key)
+    }
+
+    /// A standalone utilization probe for `key` observed from a fixed
+    /// local-time offset (e.g. spray's per-route egress-link utilization).
+    pub fn probe(&self, key: CongestionKey, utc_offset_hours: f64) -> UtilProbe {
+        UtilProbe {
+            process: self.handle(key),
+            utc_offset_hours,
+            max_util: self.max_util,
+        }
+    }
+
+    /// Compile `path` (+ optional last-mile key) into a [`PathPlan`].
+    ///
+    /// Term order replicates `path_rtt_ms` exactly: each interconnect at its
+    /// own city's offset, then the destination metro, then the last mile —
+    /// the last two both at the final city's offset.
+    pub fn compile_path(
+        &self,
+        topo: &Topology,
+        path: &RealizedPath,
+        lastmile: Option<CongestionKey>,
+    ) -> PathPlan {
+        let mut terms = Vec::with_capacity(path.links.len() + 2);
+        for &l in &path.links {
+            let city = topo.link(l).city;
+            let offset = topo.atlas.city(city).region.utc_offset_hours();
+            terms.push((self.handle(CongestionKey::Link(l)), offset));
+        }
+        let final_city = path.final_city();
+        let offset = topo.atlas.city(final_city).region.utc_offset_hours();
+        terms.push((self.handle(CongestionKey::Metro(final_city)), offset));
+        if let Some(lm) = lastmile {
+            terms.push((self.handle(lm), offset));
+        }
+        PathPlan {
+            base_rtt_ms: path_base_rtt_ms(topo, path),
+            terms,
+            queue_d0_ms: self.queue_d0_ms,
+            max_util: self.max_util,
+        }
+    }
+}
+
+/// A resolved `(key, local-time offset)` pair for repeated utilization
+/// queries.
+pub struct UtilProbe {
+    process: Arc<KeyProcess>,
+    utc_offset_hours: f64,
+    max_util: f64,
+}
+
+impl UtilProbe {
+    /// Same value as `CongestionModel::utilization` for the probed key.
+    #[inline]
+    pub fn utilization(&self, t: SimTime) -> f64 {
+        self.process.utilization(self.utc_offset_hours, t, self.max_util)
+    }
+}
+
+/// One realized path, compiled: the congestion-free floor plus every
+/// queueing term as a resolved process handle.
+pub struct PathPlan {
+    base_rtt_ms: f64,
+    /// `(process, utc offset)` in walk order: links, metro, last mile.
+    terms: Vec<(Arc<KeyProcess>, f64)>,
+    queue_d0_ms: f64,
+    max_util: f64,
+}
+
+impl PathPlan {
+    /// Deterministic RTT at `t`; bit-identical to
+    /// [`path_rtt_ms`](crate::path_rtt_ms) over the same path and keys.
+    #[inline]
+    pub fn rtt_ms(&self, t: SimTime) -> f64 {
+        let mut rtt = self.base_rtt_ms;
+        for (process, offset) in &self.terms {
+            let rho = process
+                .utilization(*offset, t, self.max_util)
+                .clamp(0.0, self.max_util);
+            rtt += self.queue_d0_ms * rho * rho / (1.0 - rho);
+        }
+        rtt
+    }
+
+    /// The congestion-free floor (`path_base_rtt_ms`).
+    pub fn base_rtt_ms(&self) -> f64 {
+        self.base_rtt_ms
+    }
+
+    /// Number of queueing terms (links + metro + optional last mile).
+    pub fn term_count(&self) -> usize {
+        self.terms.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::congestion::CongestionConfig;
+    use crate::path::{realize_path, RealizeSpec};
+    use crate::rtt::path_rtt_ms;
+    use bb_bgp::{compute_routes, Announcement};
+    use bb_topology::{generate, AsClass, TopologyConfig};
+
+    fn world() -> (Topology, RealizedPath) {
+        let topo = generate(&TopologyConfig::small(23));
+        let eye = topo.ases_of_class(AsClass::Eyeball).next().unwrap();
+        let origin = eye.id;
+        let dst_city = eye.footprint[0];
+        let table = compute_routes(&topo, &Announcement::full(&topo, origin));
+        let src = topo
+            .ases()
+            .iter()
+            .find(|a| a.id != origin && table.as_path(a.id).is_some_and(|p| p.len() >= 3))
+            .expect("some multi-hop source");
+        let path = table.as_path(src.id).unwrap();
+        let spec = RealizeSpec {
+            as_path: &path,
+            src_city: src.footprint[0],
+            dst_city: Some(dst_city),
+            first_link: None,
+            final_entry_links: None,
+        };
+        let p = realize_path(&topo, &spec);
+        (topo, p)
+    }
+
+    #[test]
+    fn plan_rtt_matches_walk_bitwise() {
+        let (topo, p) = world();
+        let model = CongestionModel::new(5, CongestionConfig::default());
+        let plan = CongestionPlan::new(&model);
+        for lastmile in [None, Some(CongestionKey::LastMile(77))] {
+            let pp = plan.compile_path(&topo, &p, lastmile);
+            for i in 0..200 {
+                let t = SimTime::from_minutes(i as f64 * 71.3);
+                assert_eq!(
+                    pp.rtt_ms(t),
+                    path_rtt_ms(&topo, &model, &p, lastmile, t),
+                    "t={t:?} lastmile={lastmile:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn probe_matches_model_utilization() {
+        let (topo, p) = world();
+        let model = CongestionModel::new(5, CongestionConfig::default());
+        let plan = CongestionPlan::new(&model);
+        let l = p.links[0];
+        let offset = topo.atlas.city(topo.link(l).city).region.utc_offset_hours();
+        let probe = plan.probe(CongestionKey::Link(l), offset);
+        for i in 0..100 {
+            let t = SimTime::from_minutes(i as f64 * 53.0);
+            assert_eq!(
+                probe.utilization(t),
+                model.utilization(CongestionKey::Link(l), offset, t)
+            );
+        }
+    }
+
+    #[test]
+    fn plan_has_expected_term_count() {
+        let (topo, p) = world();
+        let model = CongestionModel::new(5, CongestionConfig::default());
+        let plan = CongestionPlan::new(&model);
+        let without = plan.compile_path(&topo, &p, None);
+        let with = plan.compile_path(&topo, &p, Some(CongestionKey::LastMile(1)));
+        assert_eq!(without.term_count(), p.links.len() + 1);
+        assert_eq!(with.term_count(), p.links.len() + 2);
+        assert!(with.base_rtt_ms() > 0.0);
+    }
+}

@@ -86,16 +86,33 @@ pub fn sample_min_rtt(
     rng: &mut impl Rng,
 ) -> f64 {
     assert!(samples >= 1);
+    if rtt_model.jitter_sigma >= 0.0 && rtt_model.jitter_median_ms >= 0.0 {
+        // x ↦ median · exp(sigma · x) is monotone for sigma, median ≥ 0, so
+        // the minimum jitter is the jitter of the minimum normal draw: one
+        // exp per session instead of one per sample, same bits.
+        let mut min_z = f64::INFINITY;
+        for _ in 0..samples {
+            min_z = min_z.min(normal_draw(rng));
+        }
+        let min_jitter = rtt_model.jitter_median_ms * (rtt_model.jitter_sigma * min_z).exp();
+        return deterministic_rtt_ms + min_jitter;
+    }
     let mut min_jitter = f64::INFINITY;
     for _ in 0..samples {
-        // Box-Muller normal from two uniforms keeps us off rand_distr.
-        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
-        let u2: f64 = rng.gen::<f64>();
-        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        let z = normal_draw(rng);
         let jitter = rtt_model.jitter_median_ms * (rtt_model.jitter_sigma * z).exp();
         min_jitter = min_jitter.min(jitter);
     }
     deterministic_rtt_ms + min_jitter
+}
+
+/// One standard-normal draw; Box-Muller from two uniforms keeps us off
+/// rand_distr.
+#[inline]
+fn normal_draw(rng: &mut impl Rng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
 }
 
 #[cfg(test)]

@@ -35,6 +35,8 @@ struct Args {
     /// Worker count for parallel sections; 0 = available cores.
     jobs: usize,
     timing: bool,
+    /// Write a structured perf report (phases, counters, cache stats) here.
+    timing_json: Option<std::path::PathBuf>,
 }
 
 fn parse_args() -> Args {
@@ -44,6 +46,7 @@ fn parse_args() -> Args {
     let mut csv_dir: Option<std::path::PathBuf> = None;
     let mut jobs = 0usize;
     let mut timing = false;
+    let mut timing_json: Option<std::path::PathBuf> = None;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
@@ -81,6 +84,15 @@ fn parse_args() -> Args {
                     });
             }
             "--timing" => timing = true,
+            "--timing-json" => {
+                i += 1;
+                timing_json = Some(std::path::PathBuf::from(
+                    argv.get(i).cloned().unwrap_or_else(|| {
+                        eprintln!("--timing-json needs a file path");
+                        std::process::exit(2);
+                    }),
+                ));
+            }
             "--csv" => {
                 i += 1;
                 let dir = std::path::PathBuf::from(argv.get(i).cloned().unwrap_or_else(|| {
@@ -96,13 +108,16 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 println!(
                     "repro [EXPERIMENT] [--scale test|full|large] [--seed N] [--jobs N] \
-                     [--timing] [--csv DIR]\n\
+                     [--timing] [--timing-json PATH] [--csv DIR]\n\
                      experiments: all fig1 fig2 s311 fig3 fig4 fig5 calib goodput \
                      xpeer xgroom xsites xonenet xsplit xablate xavail xhybrid xfabric xecs\n\
                      --jobs N   worker threads (default: available cores); output is\n\
                      {:11}byte-identical for every N\n\
-                     --timing   per-experiment wall-clock and route-cache stats on stderr",
-                    ""
+                     --timing   per-experiment wall-clock, sample counters, and cache\n\
+                     {:11}stats on stderr\n\
+                     --timing-json PATH  write the structured perf report (phases,\n\
+                     {:11}samples/sec, plan compile vs query time, cache rates) as JSON",
+                    "", "", ""
                 );
                 std::process::exit(0);
             }
@@ -117,7 +132,50 @@ fn parse_args() -> Args {
         csv_dir,
         jobs,
         timing,
+        timing_json,
     }
+}
+
+/// Assemble the structured perf report from the timing registry, the
+/// sample counters, and the subsystem caches.
+fn perf_report(args: &Args, wall_s: f64) -> beating_bgp::bench::PerfReport {
+    use beating_bgp::bench::{CounterSample, PerfReport, PhaseTiming, RouteCacheStats};
+    let (hits, misses, resident) = beating_bgp::exec::cache_stats();
+    PerfReport {
+        experiment: args.experiment.clone(),
+        scale: match args.scale {
+            Scale::Test => "test",
+            Scale::Full => "full",
+            Scale::Large => "large",
+        }
+        .to_string(),
+        seed: args.seed,
+        jobs: beating_bgp::exec::jobs(),
+        wall_s,
+        phases: timing::snapshot()
+            .into_iter()
+            .map(|(label, total_s, calls)| PhaseTiming {
+                label,
+                total_s,
+                calls,
+            })
+            .collect(),
+        counters: timing::counters()
+            .into_iter()
+            .map(|(label, count)| CounterSample { label, count })
+            .collect(),
+        total_samples: 0,
+        samples_per_sec: 0.0,
+        plan_compile_s: 0.0,
+        plan_query_s: 0.0,
+        route_cache: RouteCacheStats {
+            hits: hits as u64,
+            misses: misses as u64,
+            resident: resident as u64,
+        },
+        congestion_races_closed: beating_bgp::netsim::materialize_races_closed() as u64,
+    }
+    .finalize()
 }
 
 fn spray_cfg(scale: Scale) -> SprayConfig {
@@ -139,6 +197,7 @@ fn spray_cfg(scale: Scale) -> SprayConfig {
 
 fn main() {
     let args = parse_args();
+    let t0 = std::time::Instant::now();
     beating_bgp::exec::set_jobs(args.jobs);
     let want = |name: &str| args.experiment == "all" || args.experiment == name;
 
@@ -470,7 +529,19 @@ fn main() {
     }
     print!("{stdout}");
 
+    let wall_s = t0.elapsed().as_secs_f64();
     if args.timing {
         eprint!("{}", timing::report());
+        eprintln!(
+            "congestion races closed: {}",
+            beating_bgp::netsim::materialize_races_closed()
+        );
+    }
+    if let Some(path) = &args.timing_json {
+        let report = perf_report(&args, wall_s);
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("--timing-json: cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
     }
 }

@@ -43,7 +43,9 @@
 //! | [`cdn`] | `bb-cdn` | provider: PoPs, WAN, anycast, DNS, egress, tiers |
 //! | [`measure`] | `bb-measure` | spraying, beacons, vantage-point probes |
 //! | [`core`] | `bb-core` | the three studies + extensions + figures |
+//! | [`bench`] | `bb-bench` | perf-report telemetry (`--timing-json`) |
 
+pub use bb_bench as bench;
 pub use bb_bgp as bgp;
 pub use bb_cdn as cdn;
 pub use bb_core as core;

@@ -49,3 +49,38 @@ fn fig1_and_fig3_identical_for_any_job_count() {
     assert_eq!(fig1_seq, fig1_par, "fig1 rows differ between jobs=1 and jobs=4");
     assert_eq!(fig3_seq, fig3_par, "fig3 rows differ between jobs=1 and jobs=4");
 }
+
+/// The plan-compilation layer must not reintroduce schedule dependence:
+/// spray rows — whose RTTs all flow through compiled `PathPlan`s built
+/// inside `par_map` — are identical for jobs=1 and jobs=4. Rows are
+/// compared via `Debug`, which prints f64 with round-trip precision, so
+/// equality here is bit-equality of every median/utilization/volume.
+#[test]
+fn spray_rows_with_planned_paths_identical_across_job_counts() {
+    let cfg = SprayConfig {
+        days: 0.5,
+        window_stride: 8,
+        ..Default::default()
+    };
+    let scenario = Scenario::build(ScenarioConfig::facebook(7, Scale::Test));
+
+    let mut runs: Vec<String> = Vec::new();
+    for jobs in [1usize, 4] {
+        beating_bgp::exec::set_jobs(jobs);
+        let ds = beating_bgp::measure::spray(
+            &scenario.topo,
+            &scenario.provider,
+            &scenario.workload,
+            &scenario.congestion,
+            &cfg,
+        );
+        assert!(!ds.rows.is_empty(), "spray produced no rows");
+        runs.push(format!("{:?}", ds.rows));
+    }
+    beating_bgp::exec::set_jobs(0);
+
+    assert_eq!(
+        runs[0], runs[1],
+        "planned-path spray rows differ between jobs=1 and jobs=4"
+    );
+}

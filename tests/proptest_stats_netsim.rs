@@ -86,6 +86,65 @@ proptest! {
         prop_assert!(d.is_finite() && d >= 0.0);
     }
 
+    /// A compiled `PathPlan` answers bit-identically to the reference
+    /// `path_rtt_ms` walk, for any topology, realized path, congestion
+    /// seed, last-mile key, and query time. This is the contract that lets
+    /// the measurement hot loops use plans instead of the full walk.
+    #[test]
+    fn path_plan_matches_reference_walk(
+        topo_seed in 0u64..20,
+        model_seed in 0u64..50,
+        hours in prop::collection::vec(0.0f64..240.0, 1..6),
+        lastmile in 0u64..20_000,
+    ) {
+        use beating_bgp::bgp::{compute_routes, Announcement};
+        use beating_bgp::netsim::{path_rtt_ms, realize_path, CongestionPlan, RealizeSpec};
+        use beating_bgp::topology::{generate, AsClass, TopologyConfig};
+
+        let topo = generate(&TopologyConfig::small(topo_seed));
+        let eye = topo.ases_of_class(AsClass::Eyeball).next().unwrap();
+        let origin = eye.id;
+        let dst_city = eye.footprint[0];
+        let table = compute_routes(&topo, &Announcement::full(&topo, origin));
+        let model = CongestionModel::new(model_seed, CongestionConfig::default());
+        let cplan = CongestionPlan::new(&model);
+        // Upper half of the range means "no last-mile key", so both arms
+        // of the Option are exercised (vendored proptest has no option_of).
+        let lm = (lastmile < 10_000).then_some(CongestionKey::LastMile(lastmile));
+
+        let mut checked = 0usize;
+        for src in topo.ases() {
+            if src.id == origin || src.footprint.is_empty() {
+                continue;
+            }
+            let Some(as_path) = table.as_path(src.id) else { continue };
+            let spec = RealizeSpec {
+                as_path: &as_path,
+                src_city: src.footprint[0],
+                dst_city: Some(dst_city),
+                first_link: None,
+                final_entry_links: None,
+            };
+            let path = realize_path(&topo, &spec);
+            let plan = cplan.compile_path(&topo, &path, lm);
+            for &h in &hours {
+                let t = SimTime::from_hours(h);
+                let want = path_rtt_ms(&topo, &model, &path, lm, t);
+                let got = plan.rtt_ms(t);
+                prop_assert_eq!(
+                    got.to_bits(), want.to_bits(),
+                    "plan {} != walk {} at h={} (topo {}, model {})",
+                    got, want, h, topo_seed, model_seed
+                );
+            }
+            checked += 1;
+            if checked >= 8 {
+                break; // enough distinct paths per case; keep runtime sane
+            }
+        }
+        prop_assert!(checked > 0, "no realizable path in topology {}", topo_seed);
+    }
+
     /// Goodput is monotone: worse RTT or worse utilization never increases
     /// throughput.
     #[test]

@@ -1,0 +1,51 @@
+//! `repro --timing-json PATH` emits a well-formed perf report.
+//!
+//! This is a schema smoke test, not a perf assertion: it runs a small
+//! experiment end to end and checks that the report carries every key the
+//! CI bench step and downstream tooling rely on. Timing *values* are
+//! machine-dependent and deliberately not checked.
+
+use std::process::Command;
+
+#[test]
+fn timing_json_emits_schema_v1() {
+    let out_path = std::env::temp_dir().join(format!("bb_perf_{}.json", std::process::id()));
+    let status = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["fig1", "--scale", "test", "--seed", "42", "--jobs", "1", "--timing-json"])
+        .arg(&out_path)
+        .status()
+        .expect("spawn repro");
+    assert!(status.success(), "repro exited with {status}");
+
+    let j = std::fs::read_to_string(&out_path).expect("report written");
+    std::fs::remove_file(&out_path).ok();
+
+    for key in [
+        "\"schema\": \"bb-perf-report/v1\"",
+        "\"experiment\": \"fig1\"",
+        "\"scale\": \"test\"",
+        "\"seed\": 42",
+        "\"jobs\": 1",
+        "\"wall_s\":",
+        "\"total_samples\":",
+        "\"samples_per_sec\":",
+        "\"plan_compile_s\":",
+        "\"plan_query_s\":",
+        "\"phases\": [",
+        "\"label\": \"spray:windows\"",
+        "\"counters\": [",
+        "\"label\": \"samples:spray\"",
+        "\"route_cache\": {",
+        "\"hit_rate\":",
+        "\"congestion_races_closed\":",
+    ] {
+        assert!(j.contains(key), "missing {key} in report:\n{j}");
+    }
+
+    // Balanced brackets and no trailing commas: cheap structural validity
+    // checks for the hand-rolled writer.
+    assert_eq!(j.matches('{').count(), j.matches('}').count());
+    assert_eq!(j.matches('[').count(), j.matches(']').count());
+    assert!(!j.contains(",\n}"));
+    assert!(!j.contains(",\n  ]"));
+}
