@@ -166,13 +166,15 @@ pub fn spray(
                 let mut utils = Vec::with_capacity(target.routes.len());
                 for (ri, plan) in plans[ti].iter().enumerate() {
                     let det = plan.rtt.rtt_ms(t);
-                    // Deterministic per (seed, window, target, route) sampling.
-                    let mut rng = StdRng::seed_from_u64(
-                        cfg.seed
-                            ^ (w.0 as u64) << 40
-                            ^ (ti as u64) << 8
-                            ^ ri as u64,
-                    );
+                    // Deterministic per (seed, window, target, route)
+                    // sampling. Chained SplitMix64 mixing: the raw
+                    // shift-XOR scheme used previously left low-entropy,
+                    // correlated streams for adjacent (window, target,
+                    // route) triples (e.g. ri and ti bits could cancel).
+                    let mut rng = StdRng::seed_from_u64(bb_exec::derive_seed(
+                        bb_exec::derive_seed(bb_exec::derive_seed(cfg.seed, w.0 as u64), ti as u64),
+                        ri as u64,
+                    ));
                     for s in sessions.iter_mut() {
                         *s = sample_min_rtt(det, &rtt_model, cfg.rtt_samples_per_session, &mut rng);
                     }
