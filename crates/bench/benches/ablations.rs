@@ -42,7 +42,7 @@ fn bench_ablation_correlation(c: &mut Criterion) {
                     ..Default::default()
                 };
                 let scenario = Scenario::build(cfg);
-                let study = study_egress::run(&scenario, &quick_spray());
+                let study = study_egress::run(&scenario, &quick_spray()).unwrap();
                 black_box(study.fig1.frac_improvable_5ms)
             })
         });

@@ -28,7 +28,7 @@ fn bench_fig1(c: &mut Criterion) {
     g.bench_function("end_to_end", |b| {
         b.iter(|| {
             let scenario = Scenario::build(ScenarioConfig::facebook(1, Scale::Test));
-            let study = study_egress::run(&scenario, &quick_spray_cfg());
+            let study = study_egress::run(&scenario, &quick_spray_cfg()).unwrap();
             black_box(study.fig1.frac_improvable_5ms)
         })
     });
@@ -39,11 +39,13 @@ fn bench_fig1(c: &mut Criterion) {
         &scenario.provider,
         &scenario.workload,
         &scenario.congestion,
+        None,
         &quick_spray_cfg(),
     );
     g.bench_function("analysis_only", |b| {
         b.iter(|| {
-            let study = study_egress::analyze(&scenario, &quick_spray_cfg(), dataset.clone());
+            let study =
+                study_egress::analyze(&scenario, &quick_spray_cfg(), dataset.clone()).unwrap();
             black_box(study.fig1.groups)
         })
     });
@@ -63,6 +65,7 @@ fn bench_fig2(c: &mut Criterion) {
                 &scenario.provider,
                 &scenario.workload,
                 &scenario.congestion,
+                None,
                 &quick_spray_cfg(),
             );
             black_box(ds.rows.len())
@@ -83,7 +86,8 @@ fn bench_fig3_fig4(c: &mut Criterion) {
                     rounds: 4,
                     ..Default::default()
                 },
-            );
+            )
+            .unwrap();
             black_box(study.fig3.frac_within_10ms)
         })
     });
@@ -98,10 +102,11 @@ fn bench_fig3_fig4(c: &mut Criterion) {
             rounds: 4,
             ..Default::default()
         },
-    );
+    )
+    .unwrap();
     g.bench_function("train_and_test", |b| {
         b.iter(|| {
-            let s = study_anycast::analyze(&scenario, study.measurements.clone());
+            let s = study_anycast::analyze(&scenario, study.measurements.clone()).unwrap();
             black_box(s.fig4.frac_improved)
         })
     });
@@ -120,7 +125,8 @@ fn bench_fig5(c: &mut Criterion) {
                     rounds: 3,
                     ..Default::default()
                 },
-            );
+            )
+            .unwrap();
             black_box(study.fig5.qualifying_vps)
         })
     });

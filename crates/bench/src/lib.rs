@@ -46,6 +46,21 @@ impl RouteCacheStats {
     }
 }
 
+/// Fault-plane statistics for the run (all zero when `--faults off`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultStats {
+    /// Probe samples lost to injected loss, timeouts, or route churn.
+    pub samples_lost: u64,
+    /// Retransmissions attempted after a lost sample.
+    pub retries: u64,
+    /// Measurement windows dropped for falling below the minimum-sample
+    /// threshold.
+    pub windows_dropped: u64,
+    /// Experiment panics contained by the isolation wrapper
+    /// (`--keep-going`).
+    pub panics_isolated: u64,
+}
+
 /// Schema tag embedded in every report so downstream tooling can detect
 /// layout changes.
 pub const PERF_SCHEMA: &str = "bb-perf-report/v1";
@@ -73,6 +88,8 @@ pub struct PerfReport {
     /// (sum of `*:windows` labels).
     pub plan_query_s: f64,
     pub route_cache: RouteCacheStats,
+    /// Fault-injection telemetry (`--faults light|heavy`, `--keep-going`).
+    pub faults: FaultStats,
     /// Congestion-process double-materializations avoided by the
     /// write-lock double-check (nonzero only under `--jobs > 1`).
     pub congestion_races_closed: u64,
@@ -158,6 +175,14 @@ impl PerfReport {
             self.route_cache.misses,
             self.route_cache.resident,
             json_f64(self.route_cache.hit_rate())
+        ));
+
+        out.push_str(&format!(
+            "  \"faults\": {{\"samples_lost\": {}, \"retries\": {}, \"windows_dropped\": {}, \"panics_isolated\": {}}},\n",
+            self.faults.samples_lost,
+            self.faults.retries,
+            self.faults.windows_dropped,
+            self.faults.panics_isolated
         ));
 
         json_kv_raw(
@@ -261,6 +286,12 @@ mod tests {
                 misses: 30,
                 resident: 30,
             },
+            faults: FaultStats {
+                samples_lost: 7,
+                retries: 3,
+                windows_dropped: 1,
+                panics_isolated: 0,
+            },
             congestion_races_closed: 0,
         }
         .finalize()
@@ -293,6 +324,11 @@ mod tests {
             "\"counters\": [",
             "\"route_cache\": {",
             "\"hit_rate\": 0.25",
+            "\"faults\": {",
+            "\"samples_lost\": 7",
+            "\"retries\": 3",
+            "\"windows_dropped\": 1",
+            "\"panics_isolated\": 0",
             "\"congestion_races_closed\": 0",
         ] {
             assert!(j.contains(key), "missing {key} in:\n{j}");

@@ -4,7 +4,13 @@
 //! re-plotted with real tooling (`repro --csv DIR` writes one file per
 //! figure). No external dependencies — the data is simple enough that a
 //! minimal writer with proper quoting suffices.
+//!
+//! Writes are crash-safe: each file is written to a `.tmp` sibling and
+//! atomically renamed into place, so a run killed mid-export never leaves a
+//! truncated CSV behind. I/O failures surface as [`BbError::Io`] with the
+//! file being written as context.
 
+use crate::error::{BbError, BbResult};
 use crate::figures::{Fig1, Fig2, Fig3, Fig4, Fig5};
 use std::io::Write;
 use std::path::Path;
@@ -18,24 +24,45 @@ pub fn csv_field(s: &str) -> String {
     }
 }
 
-/// Write rows of (x, y) series points with a header.
-fn write_series(
-    path: &Path,
-    header: &str,
-    series: &[(&str, Vec<(f64, f64)>)],
-) -> std::io::Result<()> {
-    let mut f = std::fs::File::create(path)?;
-    writeln!(f, "{header}")?;
-    for (label, pts) in series {
-        for &(x, y) in pts {
-            writeln!(f, "{},{x},{y}", csv_field(label))?;
-        }
-    }
+/// Write `body` into `path` via a temp file + atomic rename.
+///
+/// The temp file lives in the same directory as `path` (renames across
+/// filesystems are not atomic), named after the target with a `.tmp`
+/// suffix so concurrent exports to different figures never collide.
+fn write_atomic(path: &Path, body: impl FnOnce(&mut Vec<u8>) -> std::io::Result<()>) -> BbResult<()> {
+    let label = path.display().to_string();
+    let mut buf = Vec::new();
+    body(&mut buf).map_err(|e| BbError::io(format!("render {label}"), e))?;
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    let mut f = std::fs::File::create(&tmp)
+        .map_err(|e| BbError::io(format!("create {}", tmp.display()), e))?;
+    f.write_all(&buf)
+        .map_err(|e| BbError::io(format!("write {}", tmp.display()), e))?;
+    f.sync_all()
+        .map_err(|e| BbError::io(format!("sync {}", tmp.display()), e))?;
+    drop(f);
+    std::fs::rename(&tmp, path)
+        .map_err(|e| BbError::io(format!("rename {} -> {label}", tmp.display()), e))?;
     Ok(())
 }
 
+/// Write rows of (x, y) series points with a header.
+fn write_series(path: &Path, header: &str, series: &[(&str, Vec<(f64, f64)>)]) -> BbResult<()> {
+    write_atomic(path, |f| {
+        writeln!(f, "{header}")?;
+        for (label, pts) in series {
+            for &(x, y) in pts {
+                writeln!(f, "{},{x},{y}", csv_field(label))?;
+            }
+        }
+        Ok(())
+    })
+}
+
 /// Export Figure 1 (point estimate + CI bound CDFs).
-pub fn fig1_csv(fig: &Fig1, dir: &Path) -> std::io::Result<()> {
+pub fn fig1_csv(fig: &Fig1, dir: &Path) -> BbResult<()> {
     write_series(
         &dir.join("fig1.csv"),
         "series,diff_ms,cum_fraction_of_traffic",
@@ -48,7 +75,7 @@ pub fn fig1_csv(fig: &Fig1, dir: &Path) -> std::io::Result<()> {
 }
 
 /// Export Figure 2.
-pub fn fig2_csv(fig: &Fig2, dir: &Path) -> std::io::Result<()> {
+pub fn fig2_csv(fig: &Fig2, dir: &Path) -> BbResult<()> {
     let mut series: Vec<(&str, Vec<(f64, f64)>)> = Vec::new();
     if let Some(c) = &fig.peer_vs_transit {
         series.push(("peer_vs_transit", c.points().collect()));
@@ -64,7 +91,7 @@ pub fn fig2_csv(fig: &Fig2, dir: &Path) -> std::io::Result<()> {
 }
 
 /// Export Figure 3 (CCDFs).
-pub fn fig3_csv(fig: &Fig3, dir: &Path) -> std::io::Result<()> {
+pub fn fig3_csv(fig: &Fig3, dir: &Path) -> BbResult<()> {
     let mut series: Vec<(&str, Vec<(f64, f64)>)> =
         vec![("world", fig.world.points().collect())];
     if let Some(c) = &fig.europe {
@@ -81,7 +108,7 @@ pub fn fig3_csv(fig: &Fig3, dir: &Path) -> std::io::Result<()> {
 }
 
 /// Export Figure 4.
-pub fn fig4_csv(fig: &Fig4, dir: &Path) -> std::io::Result<()> {
+pub fn fig4_csv(fig: &Fig4, dir: &Path) -> BbResult<()> {
     write_series(
         &dir.join("fig4.csv"),
         "series,improvement_ms,cum_fraction_of_weighted_prefixes",
@@ -93,30 +120,32 @@ pub fn fig4_csv(fig: &Fig4, dir: &Path) -> std::io::Result<()> {
 }
 
 /// Export Figure 5 (per-country table).
-pub fn fig5_csv(fig: &Fig5, dir: &Path) -> std::io::Result<()> {
-    let mut f = std::fs::File::create(dir.join("fig5.csv"))?;
-    writeln!(
-        f,
-        "country_code,country,region,median_diff_ms,vantage_points,users_m"
-    )?;
-    for r in &fig.rows {
+pub fn fig5_csv(fig: &Fig5, dir: &Path) -> BbResult<()> {
+    write_atomic(&dir.join("fig5.csv"), |f| {
         writeln!(
             f,
-            "{},{},{},{},{},{}",
-            r.code,
-            csv_field(r.name),
-            csv_field(r.region.name()),
-            r.median_diff_ms,
-            r.vantage_points,
-            r.users_m
+            "country_code,country,region,median_diff_ms,vantage_points,users_m"
         )?;
-    }
-    Ok(())
+        for r in &fig.rows {
+            writeln!(
+                f,
+                "{},{},{},{},{},{}",
+                r.code,
+                csv_field(r.name),
+                csv_field(r.region.name()),
+                r.median_diff_ms,
+                r.vantage_points,
+                r.users_m
+            )?;
+        }
+        Ok(())
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::figures::Coverage;
     use bb_stats::{Ccdf, Cdf};
 
     fn tmpdir() -> std::path::PathBuf {
@@ -142,6 +171,7 @@ mod tests {
             frac_improvable_5ms: 0.02,
             frac_bgp_good: 0.95,
             groups: 3,
+            coverage: Coverage::default(),
         };
         let dir = tmpdir();
         fig1_csv(&fig, &dir).unwrap();
@@ -150,6 +180,8 @@ mod tests {
         // 3 series × 3 points + header.
         assert_eq!(content.lines().count(), 10);
         assert!(content.contains("point,1,"));
+        // The temp file must not survive a successful export.
+        assert!(!dir.join("fig1.csv.tmp").exists());
     }
 
     #[test]
@@ -161,6 +193,7 @@ mod tests {
             united_states: None,
             frac_within_10ms: 0.8,
             frac_gt_100ms: 0.05,
+            coverage: Coverage::default(),
         };
         let dir = tmpdir();
         fig3_csv(&fig, &dir).unwrap();
@@ -184,10 +217,27 @@ mod tests {
             premium_ingress_within_400km: 0.7,
             standard_ingress_within_400km: 0.05,
             qualifying_vps: 12,
+            coverage: Coverage::default(),
         };
         let dir = tmpdir();
         fig5_csv(&fig, &dir).unwrap();
         let content = std::fs::read_to_string(dir.join("fig5.csv")).unwrap();
         assert!(content.contains("IN,India,South Asia,-51.8,12,600"));
+    }
+
+    #[test]
+    fn unwritable_dir_yields_io_error() {
+        let fig = Fig4 {
+            median_improvement: Cdf::from_values(&[1.0]).unwrap(),
+            p75_improvement: Cdf::from_values(&[2.0]).unwrap(),
+            frac_improved: 0.27,
+            frac_worse: 0.17,
+            coverage: Coverage::default(),
+        };
+        let err = fig4_csv(&fig, Path::new("/nonexistent_bb_dir")).unwrap_err();
+        match err {
+            BbError::Io { context, .. } => assert!(context.contains("fig4.csv"), "{context}"),
+            other => panic!("expected Io error, got {other:?}"),
+        }
     }
 }

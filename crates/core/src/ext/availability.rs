@@ -106,7 +106,7 @@ pub fn run(scenario: &Scenario, seed: u64, recovery: &RecoveryConfig) -> Availab
     let mut dns_down_weighted_min = 0.0;
     for (&site, &w) in &site_weight {
         let frac = w / total_weight.max(1e-12);
-        for outage in failures.outages(FailureKey::Site(site), 0.0) {
+        for outage in failures.outages(FailureKey::Site(site), 0.0).iter() {
             site_outages += 1;
             // Anycast: affected clients lose service for the convergence
             // time (or the whole outage if it is shorter).

@@ -10,6 +10,7 @@
 //! tail changes little (it loses the aggregation-error cases but gains
 //! overfitting-to-noise cases — per-prefix training data is thinner).
 
+use crate::error::BbResult;
 use crate::study_anycast;
 use crate::world::Scenario;
 use bb_cdn::AnycastDeployment;
@@ -46,7 +47,11 @@ impl EcsPoint {
 /// Sweep ECS adoption. The beacon campaign is collected once (it does not
 /// depend on resolvers); only the workload's resolver flags and the
 /// redirector retraining vary per step.
-pub fn run(scenario: &Scenario, beacon_cfg: &BeaconConfig, adoptions: &[f64]) -> Vec<EcsPoint> {
+pub fn run(
+    scenario: &Scenario,
+    beacon_cfg: &BeaconConfig,
+    adoptions: &[f64],
+) -> BbResult<Vec<EcsPoint>> {
     let sites = scenario.provider.pops.clone();
     let anycast = AnycastDeployment::deploy(&scenario.topo, &scenario.provider, &sites);
     let unicast = build_unicast_deployments(&scenario.topo, &scenario.provider, &sites);
@@ -57,6 +62,7 @@ pub fn run(scenario: &Scenario, beacon_cfg: &BeaconConfig, adoptions: &[f64]) ->
         &unicast,
         &scenario.workload,
         &scenario.congestion,
+        scenario.fault_plane(),
         beacon_cfg,
     );
 
@@ -81,14 +87,17 @@ pub fn run(scenario: &Scenario, beacon_cfg: &BeaconConfig, adoptions: &[f64]) ->
                     scenario.config.seed ^ 0x_c01d,
                     scenario.config.congestion.clone(),
                 ),
+                // The measurements already carry any fault effects; the
+                // re-analysis itself draws nothing new.
+                faults: None,
             };
-            let study = study_anycast::analyze(&shadow, measurements.clone());
-            EcsPoint {
+            let study = study_anycast::analyze(&shadow, measurements.clone())?;
+            Ok(EcsPoint {
                 adoption,
                 improved: study.fig4.frac_improved,
                 worse: study.fig4.frac_worse,
                 median_gain_ms: study.fig4.median_improvement.median(),
-            }
+            })
         })
         .collect()
 }
@@ -111,7 +120,8 @@ mod tests {
                 ..Default::default()
             },
             &[0.0, 1.0],
-        );
+        )
+        .expect("fault-free sweep succeeds");
         assert_eq!(pts.len(), 2);
         // Bias-for-variance trade: the worse tail must not blow up…
         assert!(
@@ -141,7 +151,8 @@ mod tests {
                 ..Default::default()
             },
             &[0.0, 0.5, 1.0],
-        );
+        )
+        .expect("fault-free sweep succeeds");
         for w in pts.windows(2) {
             assert!(
                 w[1].worse <= w[0].worse + 0.05,

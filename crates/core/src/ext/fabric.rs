@@ -62,6 +62,7 @@ pub fn run(scenario: &Scenario, spray_cfg: &SprayConfig, controller: &EgressCont
         &scenario.provider,
         &scenario.workload,
         &scenario.congestion,
+        scenario.fault_plane(),
         spray_cfg,
     );
     evaluate(&dataset, controller)
@@ -95,14 +96,23 @@ pub fn evaluate(dataset: &SprayDataset, controller: &EgressController) -> Fabric
             if row.route_median_ms.len() < 2 {
                 continue;
             }
-            windows += 1;
+            // Fault-injected campaigns mark lost windows with NaN medians:
+            // a window whose BGP route was not measured cannot be scored,
+            // and a detour onto an unmeasured route falls back to BGP (a
+            // real controller cannot act on a route it has no data for).
             let bgp = row.route_median_ms[0];
+            if !bgp.is_finite() {
+                continue;
+            }
+            windows += 1;
             let oracle = row
                 .route_median_ms
                 .iter()
                 .copied()
+                .filter(|m| m.is_finite())
                 .fold(f64::INFINITY, f64::min);
-            let fabric = row.route_median_ms[current_route.min(row.route_median_ms.len() - 1)];
+            let raw = row.route_median_ms[current_route.min(row.route_median_ms.len() - 1)];
+            let fabric = if raw.is_finite() { raw } else { bgp };
 
             bgp_acc += bgp * row.volume;
             fabric_acc += fabric * row.volume;
@@ -122,7 +132,9 @@ pub fn evaluate(dataset: &SprayDataset, controller: &EgressController) -> Fabric
                 .iter()
                 .zip(&row.route_util)
                 .map(|(&m, &u)| RouteWindowStats {
-                    median_minrtt_ms: m,
+                    // Unmeasured routes look infinitely slow to the
+                    // controller, so it never detours onto one blindly.
+                    median_minrtt_ms: if m.is_finite() { m } else { f64::INFINITY },
                     egress_utilization: u,
                 })
                 .collect();

@@ -60,8 +60,15 @@ pub fn run(scenario: &Scenario, beacon_cfg: &BeaconConfig, margin_ms: f64) -> Ve
         &unicast,
         &scenario.workload,
         &scenario.congestion,
+        scenario.fault_plane(),
         beacon_cfg,
     );
+    // Fault-injected campaigns mark lost probes with NaN; only complete
+    // measurements can train or score a scheme.
+    let measurements: Vec<_> = measurements
+        .into_iter()
+        .filter(|m| m.is_complete())
+        .collect();
 
     // Same train/test split as the Fig 4 analysis (even/odd rounds).
     let mut round_times: Vec<u64> = measurements
@@ -88,7 +95,11 @@ pub fn run(scenario: &Scenario, beacon_cfg: &BeaconConfig, margin_ms: f64) -> Ve
             let mut per_site: BTreeMap<bb_geo::CityId, Vec<f64>> = BTreeMap::new();
             for m in ms {
                 for &(s, r) in &m.unicast_rtt_ms {
-                    per_site.entry(s).or_default().push(r);
+                    // A complete measurement can still have individual
+                    // unicast probes lost to the fault plane (NaN).
+                    if r.is_finite() {
+                        per_site.entry(s).or_default().push(r);
+                    }
                 }
             }
             TrainingSample {
@@ -131,7 +142,7 @@ pub fn run(scenario: &Scenario, beacon_cfg: &BeaconConfig, margin_ms: f64) -> Ve
                 SiteChoice::Unicast(site) => m
                     .unicast_rtt_ms
                     .iter()
-                    .find(|&&(s, _)| s == site)
+                    .find(|&&(s, r)| s == site && r.is_finite())
                     .map(|&(_, r)| r)
                     .unwrap_or_else(|| {
                         let client_city = scenario.workload.prefix(m.prefix).city;

@@ -8,6 +8,52 @@ use bb_stats::render::{render_bar_table, render_ccdfs, render_cdfs};
 use bb_stats::{Ccdf, Cdf};
 use serde::Serialize;
 
+/// How much of a figure's input survived the measurement fault plane.
+///
+/// `Default` (`0/0`) means coverage was not tracked — a fault-free run —
+/// and renders nothing, so pre-fault output stays byte-identical. A figure
+/// built from degraded inputs carries `kept < total` and renders a one-line
+/// partial-data annotation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct Coverage {
+    /// Inputs (windows, beacons, probes) that survived and were used.
+    pub kept: u64,
+    /// Inputs the campaign attempted.
+    pub total: u64,
+}
+
+impl Coverage {
+    pub fn new(kept: u64, total: u64) -> Self {
+        Self { kept, total }
+    }
+
+    /// Fraction of inputs kept; `1.0` when untracked.
+    pub fn fraction(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.kept as f64 / self.total as f64
+        }
+    }
+
+    /// True when some inputs were lost (tracked and incomplete).
+    pub fn is_partial(&self) -> bool {
+        self.total > 0 && self.kept < self.total
+    }
+
+    /// The render line for partial figures; `None` at full coverage.
+    pub fn annotation(&self) -> Option<String> {
+        self.is_partial().then(|| {
+            format!(
+                "  [partial data: {}/{} inputs kept ({:.1}% coverage)]\n",
+                self.kept,
+                self.total,
+                self.fraction() * 100.0
+            )
+        })
+    }
+}
+
 /// Figure 1: CDF (by traffic volume) of median MinRTT difference,
 /// BGP-preferred − best alternate, with the confidence-interval band.
 #[derive(Debug, Clone)]
@@ -25,6 +71,8 @@ pub struct Fig1 {
     pub frac_bgp_good: f64,
     /// Number of ⟨PoP, prefix⟩ groups in the analysis.
     pub groups: usize,
+    /// Fraction of spray windows that survived the fault plane.
+    pub coverage: Coverage,
 }
 
 impl Fig1 {
@@ -45,6 +93,9 @@ impl Fig1 {
             self.frac_improvable_5ms * 100.0,
             self.frac_bgp_good * 100.0
         ));
+        if let Some(note) = self.coverage.annotation() {
+            s.push_str(&note);
+        }
         s
     }
 }
@@ -60,6 +111,8 @@ pub struct Fig2 {
     pub frac_transit_close: f64,
     /// Traffic fraction where public peering is within 2 ms of private.
     pub frac_public_close: f64,
+    /// Fraction of spray windows that survived the fault plane.
+    pub coverage: Coverage,
 }
 
 impl Fig2 {
@@ -82,6 +135,9 @@ impl Fig2 {
             self.frac_transit_close * 100.0,
             self.frac_public_close * 100.0
         ));
+        if let Some(note) = self.coverage.annotation() {
+            s.push_str(&note);
+        }
         s
     }
 }
@@ -128,6 +184,8 @@ pub struct Fig3 {
     /// Fraction of requests where best unicast is ≥100 ms faster
     /// (paper: ~10%).
     pub frac_gt_100ms: f64,
+    /// Fraction of beacon measurements that survived the fault plane.
+    pub coverage: Coverage,
 }
 
 impl Fig3 {
@@ -150,6 +208,9 @@ impl Fig3 {
             self.frac_within_10ms * 100.0,
             self.frac_gt_100ms * 100.0
         ));
+        if let Some(note) = self.coverage.annotation() {
+            s.push_str(&note);
+        }
         s
     }
 }
@@ -165,6 +226,8 @@ pub struct Fig4 {
     pub frac_improved: f64,
     /// Fraction made worse (paper: 17%).
     pub frac_worse: f64,
+    /// Fraction of beacon measurements that survived the fault plane.
+    pub coverage: Coverage,
 }
 
 impl Fig4 {
@@ -183,6 +246,9 @@ impl Fig4 {
             self.frac_improved * 100.0,
             self.frac_worse * 100.0
         ));
+        if let Some(note) = self.coverage.annotation() {
+            s.push_str(&note);
+        }
         s
     }
 }
@@ -211,6 +277,8 @@ pub struct Fig5 {
     pub standard_ingress_within_400km: f64,
     /// Qualifying vantage points (direct Premium, indirect Standard).
     pub qualifying_vps: usize,
+    /// Fraction of probe rounds that survived the fault plane.
+    pub coverage: Coverage,
 }
 
 impl Fig5 {
@@ -232,6 +300,9 @@ impl Fig5 {
             self.premium_ingress_within_400km * 100.0,
             self.standard_ingress_within_400km * 100.0
         ));
+        if let Some(note) = self.coverage.annotation() {
+            s.push_str(&note);
+        }
         s
     }
 }
@@ -250,6 +321,7 @@ mod tests {
             frac_improvable_5ms: 0.03,
             frac_bgp_good: 0.9,
             groups: 42,
+            coverage: Coverage::default(),
         };
         let s = f.render();
         assert!(s.contains("3.0%"));
@@ -280,6 +352,7 @@ mod tests {
             premium_ingress_within_400km: 0.8,
             standard_ingress_within_400km: 0.1,
             qualifying_vps: 8,
+            coverage: Coverage::default(),
         };
         let s = f.render();
         let japan_pos = s.find("Japan").unwrap();

@@ -24,6 +24,7 @@
 //! and their ASCII rendering; [`export`] writes figure data as CSV.
 
 pub mod calibration;
+pub mod error;
 pub mod export;
 pub mod ext;
 pub mod figures;
@@ -32,4 +33,6 @@ pub mod study_egress;
 pub mod study_tiers;
 pub mod world;
 
+pub use error::{BbError, BbResult};
+pub use figures::Coverage;
 pub use world::{Scale, Scenario, ScenarioConfig};

@@ -8,7 +8,8 @@
 //! anycast on later measurements? ("The LDNS-predicted optimal and anycast
 //! are then measured side-by-side.")
 
-use crate::figures::{Fig3, Fig4};
+use crate::error::{BbError, BbResult};
+use crate::figures::{Coverage, Fig3, Fig4};
 use crate::world::Scenario;
 use bb_cdn::dns::TrainingSample;
 use bb_cdn::{AnycastDeployment, DnsRedirector, SiteChoice};
@@ -28,7 +29,7 @@ pub struct AnycastStudy {
 
 /// Run the full study: deploy anycast from every PoP, beacon campaign,
 /// train/test split, figures.
-pub fn run(scenario: &Scenario, beacon_cfg: &BeaconConfig) -> AnycastStudy {
+pub fn run(scenario: &Scenario, beacon_cfg: &BeaconConfig) -> BbResult<AnycastStudy> {
     let sites = scenario.provider.pops.clone();
     let anycast = AnycastDeployment::deploy(&scenario.topo, &scenario.provider, &sites);
     let unicast = build_unicast_deployments(&scenario.topo, &scenario.provider, &sites);
@@ -39,22 +40,38 @@ pub fn run(scenario: &Scenario, beacon_cfg: &BeaconConfig) -> AnycastStudy {
         &unicast,
         &scenario.workload,
         &scenario.congestion,
+        scenario.fault_plane(),
         beacon_cfg,
     );
     analyze(scenario, measurements)
 }
 
 /// Analyze an already-collected beacon campaign.
-pub fn analyze(scenario: &Scenario, measurements: Vec<BeaconMeasurement>) -> AnycastStudy {
+///
+/// Incomplete measurements (anycast or every unicast beacon lost to the
+/// fault plane) are excluded from every aggregate; Figures 3 and 4 carry
+/// the resulting coverage. Errors with [`BbError::InsufficientData`] when
+/// no complete measurement survives.
+pub fn analyze(
+    scenario: &Scenario,
+    measurements: Vec<BeaconMeasurement>,
+) -> BbResult<AnycastStudy> {
+    let coverage = Coverage::new(
+        measurements.iter().filter(|m| m.is_complete()).count() as u64,
+        measurements.len() as u64,
+    );
+
     // --- Figure 3: per-measurement penalty CCDFs, weighted by traffic. ---
     let penalty_points = |filter: &dyn Fn(&BeaconMeasurement) -> bool| -> Vec<(f64, f64)> {
         measurements
             .iter()
-            .filter(|m| filter(m))
+            .filter(|m| m.is_complete() && filter(m))
             .map(|m| (m.anycast_penalty_ms().max(0.0), m.weight))
             .collect()
     };
-    let world = Ccdf::from_weighted(&penalty_points(&|_| true)).expect("beacon data");
+    let world = Ccdf::from_weighted(&penalty_points(&|_| true)).ok_or_else(|| {
+        BbError::insufficient("fig3 penalty CCDF", coverage.kept as usize, 1)
+    })?;
     let europe = Ccdf::from_weighted(&penalty_points(&|m| m.region == Region::Europe));
     let us_country = bb_geo::country::by_code("US").map(|(i, _)| i);
     let united_states = Ccdf::from_weighted(&penalty_points(&|m| {
@@ -75,6 +92,7 @@ pub fn analyze(scenario: &Scenario, measurements: Vec<BeaconMeasurement>) -> Any
         united_states,
         frac_within_10ms,
         frac_gt_100ms,
+        coverage,
     };
 
     // --- Figure 4: train on even rounds, test on odd rounds. ---
@@ -90,8 +108,10 @@ pub fn analyze(scenario: &Scenario, measurements: Vec<BeaconMeasurement>) -> Any
             .unwrap()
     };
 
-    let (train, test): (Vec<&BeaconMeasurement>, Vec<&BeaconMeasurement>) =
-        measurements.iter().partition(|m| round_of(m) % 2 == 0);
+    let (train, test): (Vec<&BeaconMeasurement>, Vec<&BeaconMeasurement>) = measurements
+        .iter()
+        .filter(|m| m.is_complete())
+        .partition(|m| round_of(m) % 2 == 0);
 
     // Training samples: per-prefix medians over the training rounds.
     // BTreeMaps keep sample/figure order independent of hash state.
@@ -108,7 +128,9 @@ pub fn analyze(scenario: &Scenario, measurements: Vec<BeaconMeasurement>) -> Any
             let mut per_site: BTreeMap<CityId, Vec<f64>> = BTreeMap::new();
             for m in ms {
                 for &(s, r) in &m.unicast_rtt_ms {
-                    per_site.entry(s).or_default().push(r);
+                    if r.is_finite() {
+                        per_site.entry(s).or_default().push(r);
+                    }
                 }
             }
             TrainingSample {
@@ -146,7 +168,7 @@ pub fn analyze(scenario: &Scenario, measurements: Vec<BeaconMeasurement>) -> Any
                     SiteChoice::Unicast(site) => m
                         .unicast_rtt_ms
                         .iter()
-                        .find(|&&(s, _)| s == site)
+                        .find(|&&(s, r)| s == site && r.is_finite())
                         .map(|&(_, r)| r)
                         // Predicted site not among this client's nearby
                         // measured ones — the misdirection case. Its RTT is
@@ -178,8 +200,10 @@ pub fn analyze(scenario: &Scenario, measurements: Vec<BeaconMeasurement>) -> Any
         med_points.push((q(&anycast_series, 0.5) - q(&predicted_series, 0.5), w));
         p75_points.push((q(&anycast_series, 0.75) - q(&predicted_series, 0.75), w));
     }
-    let median_improvement = Cdf::from_weighted(&med_points).expect("fig4 data");
-    let p75_improvement = Cdf::from_weighted(&p75_points).expect("fig4 data");
+    let too_few =
+        || BbError::insufficient("fig4 improvement CDF", med_points.len(), 1);
+    let median_improvement = Cdf::from_weighted(&med_points).ok_or_else(too_few)?;
+    let p75_improvement = Cdf::from_weighted(&p75_points).ok_or_else(too_few)?;
     // The paper reads improvement/worse straight off the CDF's sign
     // ("improvement for 27% of queries … worse than anycast for 17%");
     // a ±0.1 ms band absorbs measurement noise around zero.
@@ -190,14 +214,15 @@ pub fn analyze(scenario: &Scenario, measurements: Vec<BeaconMeasurement>) -> Any
         p75_improvement,
         frac_improved,
         frac_worse,
+        coverage,
     };
 
-    AnycastStudy {
+    Ok(AnycastStudy {
         fig3,
         fig4,
         redirector,
         measurements,
-    }
+    })
 }
 
 fn median(values: impl Iterator<Item = f64>) -> f64 {
@@ -216,7 +241,7 @@ mod tests {
             rounds: 6,
             ..Default::default()
         };
-        run(&scenario, &cfg)
+        run(&scenario, &cfg).expect("fault-free study succeeds")
     }
 
     #[test]

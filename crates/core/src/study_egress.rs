@@ -7,7 +7,8 @@
 //! omniscient performance-aware route controller that always uses the path
 //! with the best instantaneous performance."
 
-use crate::figures::{Episodes, Fig1, Fig2};
+use crate::error::{BbError, BbResult};
+use crate::figures::{Coverage, Episodes, Fig1, Fig2};
 use crate::world::Scenario;
 use bb_bgp::ProviderRouteClass;
 use bb_measure::{spray, SprayConfig, SprayDataset};
@@ -47,19 +48,28 @@ struct GroupAgg {
 }
 
 /// Run the full study.
-pub fn run(scenario: &Scenario, spray_cfg: &SprayConfig) -> EgressStudy {
+pub fn run(scenario: &Scenario, spray_cfg: &SprayConfig) -> BbResult<EgressStudy> {
     let dataset = spray(
         &scenario.topo,
         &scenario.provider,
         &scenario.workload,
         &scenario.congestion,
+        scenario.fault_plane(),
         spray_cfg,
     );
     bb_exec::timing::time("egress:analyze", || analyze(scenario, spray_cfg, dataset))
 }
 
 /// Analyze an already-collected spray dataset.
-pub fn analyze(scenario: &Scenario, spray_cfg: &SprayConfig, dataset: SprayDataset) -> EgressStudy {
+///
+/// NaN medians (windows degraded by the fault plane) are excluded from
+/// every aggregate; the figures carry the resulting coverage. Errors with
+/// [`BbError::InsufficientData`] when no usable window survives.
+pub fn analyze(
+    scenario: &Scenario,
+    spray_cfg: &SprayConfig,
+    dataset: SprayDataset,
+) -> BbResult<EgressStudy> {
     // Index target metadata (classes are per-target, constant over time).
     let classes_by_key: HashMap<(bb_geo::CityId, bb_workload::PrefixId), Vec<ProviderRouteClass>> =
         dataset
@@ -76,16 +86,26 @@ pub fn analyze(scenario: &Scenario, spray_cfg: &SprayConfig, dataset: SprayDatas
     // BTreeMap: iteration order feeds CDF construction and float
     // accumulation, so it must not depend on hash state.
     let mut groups: BTreeMap<(bb_geo::CityId, bb_workload::PrefixId), GroupAgg> = BTreeMap::new();
+    let mut windows_total = 0u64;
+    let mut windows_kept = 0u64;
     for row in &dataset.rows {
         if row.route_median_ms.len() < 2 {
             continue; // no alternate to compare against
         }
+        windows_total += 1;
         let classes = &classes_by_key[&(row.pop, row.prefix)];
+        // Degraded windows carry NaN medians; a window is usable only when
+        // the preferred route and at least one alternate survived.
         let preferred = row.route_median_ms[0];
         let best_alt = row.route_median_ms[1..]
             .iter()
             .copied()
+            .filter(|m| m.is_finite())
             .fold(f64::INFINITY, f64::min);
+        if !preferred.is_finite() || !best_alt.is_finite() {
+            continue;
+        }
+        windows_kept += 1;
 
         let agg = groups
             .entry((row.pop, row.prefix))
@@ -107,7 +127,7 @@ pub fn analyze(scenario: &Scenario, spray_cfg: &SprayConfig, dataset: SprayDatas
             row.route_median_ms
                 .iter()
                 .zip(classes)
-                .filter(|&(_, &c)| pred(c))
+                .filter(|&(&m, &c)| pred(c) && m.is_finite())
                 .map(|(&m, _)| m)
                 .fold(None, |acc: Option<f64>, m| {
                     Some(acc.map_or(m, |a| a.min(m)))
@@ -153,16 +173,19 @@ pub fn analyze(scenario: &Scenario, spray_cfg: &SprayConfig, dataset: SprayDatas
         lower.push((ci.lower, agg.volume));
         upper.push((ci.upper, agg.volume));
     }
-    let diff = Cdf::from_weighted(&point).expect("fig1 data");
+    let coverage = Coverage::new(windows_kept, windows_total);
+    let too_few = || BbError::insufficient("fig1 route-diff CDF", groups.len(), 1);
+    let diff = Cdf::from_weighted(&point).ok_or_else(too_few)?;
     let frac_improvable_5ms = 1.0 - diff.fraction_leq(MEANINGFUL_MS - 1e-9);
     let frac_bgp_good = diff.fraction_leq(1.0);
     let fig1 = Fig1 {
-        ci_lower: Cdf::from_weighted(&lower).unwrap(),
-        ci_upper: Cdf::from_weighted(&upper).unwrap(),
+        ci_lower: Cdf::from_weighted(&lower).ok_or_else(too_few)?,
+        ci_upper: Cdf::from_weighted(&upper).ok_or_else(too_few)?,
         diff,
         frac_improvable_5ms,
         frac_bgp_good,
         groups: groups.len(),
+        coverage,
     };
 
     // --- Figure 2 ---
@@ -189,6 +212,7 @@ pub fn analyze(scenario: &Scenario, spray_cfg: &SprayConfig, dataset: SprayDatas
         private_vs_public,
         frac_transit_close,
         frac_public_close,
+        coverage,
     };
 
     // --- §3.1.1 episodes ---
@@ -251,13 +275,22 @@ pub fn analyze(scenario: &Scenario, spray_cfg: &SprayConfig, dataset: SprayDatas
             if row.route_median_ms.len() < 2 {
                 continue;
             }
+            // goodput_mbps asserts rtt > 0, so degraded (NaN) medians must
+            // be filtered before the call, not after.
+            if !row.route_median_ms[0].is_finite() {
+                continue; // window degraded away by the fault plane
+            }
             let gp = |i: usize| {
                 bb_netsim::goodput_mbps(row.route_median_ms[i], row.route_util[i], 200.0)
             };
             let bgp = gp(0);
             let best_alt = (1..row.route_median_ms.len())
+                .filter(|&i| row.route_median_ms[i].is_finite())
                 .map(gp)
                 .fold(f64::NEG_INFINITY, f64::max);
+            if !best_alt.is_finite() {
+                continue; // no alternate survived the fault plane
+            }
             let entry = per_group
                 .entry((row.pop, row.prefix))
                 .or_insert((Vec::new(), 0.0));
@@ -278,13 +311,13 @@ pub fn analyze(scenario: &Scenario, spray_cfg: &SprayConfig, dataset: SprayDatas
         / total_bw.max(1e-12);
 
     let _ = spray_cfg;
-    EgressStudy {
+    Ok(EgressStudy {
         fig1,
         fig2,
         episodes,
         bandwidth_improvable,
         dataset,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -300,7 +333,7 @@ mod tests {
             sessions_per_window: 5,
             ..Default::default()
         };
-        run(&scenario, &cfg)
+        run(&scenario, &cfg).expect("fault-free study succeeds")
     }
 
     #[test]
@@ -376,6 +409,34 @@ mod tests {
             s.bandwidth_improvable < 0.25,
             "bandwidth improvable {:.2}",
             s.bandwidth_improvable
+        );
+    }
+
+    #[test]
+    fn faulted_study_flags_partial_coverage_and_keeps_shape() {
+        let mut config = ScenarioConfig::facebook(3, Scale::Test);
+        config.faults = Some(bb_netsim::FaultConfig::light());
+        let scenario = Scenario::build(config);
+        let cfg = SprayConfig {
+            days: 1.0,
+            window_stride: 8,
+            sessions_per_window: 5,
+            ..Default::default()
+        };
+        let s = run(&scenario, &cfg).expect("light faults leave enough data");
+        assert!(
+            s.fig1.coverage.is_partial(),
+            "light churn must drop some windows: {:?}",
+            s.fig1.coverage
+        );
+        assert!(s.fig1.coverage.fraction() > 0.8, "{:?}", s.fig1.coverage);
+        assert!(s.fig1.render().contains("partial data"));
+        // The paper's headline survives realistic data loss.
+        assert!(s.fig1.frac_bgp_good > 0.7, "{:.2}", s.fig1.frac_bgp_good);
+        assert!(
+            s.fig1.frac_improvable_5ms < 0.25,
+            "{:.2}",
+            s.fig1.frac_improvable_5ms
         );
     }
 

@@ -8,7 +8,8 @@
 //! per-country median latency difference plus the ingress-distance and
 //! goodput statistics.
 
-use crate::figures::{CountryDiff, Fig5};
+use crate::error::{BbError, BbResult};
+use crate::figures::{CountryDiff, Coverage, Fig5};
 use crate::world::Scenario;
 use bb_cdn::{Tier, TierDeployment};
 use bb_geo::CityId;
@@ -28,7 +29,7 @@ pub struct TiersStudy {
 }
 
 /// Run the study against the US-Central data center.
-pub fn run(scenario: &Scenario, probe_cfg: &ProbeConfig) -> TiersStudy {
+pub fn run(scenario: &Scenario, probe_cfg: &ProbeConfig) -> BbResult<TiersStudy> {
     let (us, _) = bb_geo::country::by_code("US").expect("US exists");
     let us_metro = scenario.topo.atlas.main_metro(us).id;
     let datacenter = if scenario.provider.has_pop(us_metro) {
@@ -44,7 +45,7 @@ pub fn run_with_datacenter(
     scenario: &Scenario,
     probe_cfg: &ProbeConfig,
     datacenter: CityId,
-) -> TiersStudy {
+) -> BbResult<TiersStudy> {
     let premium = TierDeployment::deploy(&scenario.topo, &scenario.provider, datacenter, Tier::Premium);
     let standard =
         TierDeployment::deploy(&scenario.topo, &scenario.provider, datacenter, Tier::Standard);
@@ -56,18 +57,26 @@ pub fn run_with_datacenter(
         &standard,
         &vps,
         &scenario.congestion,
+        scenario.fault_plane(),
         probe_cfg,
     );
     analyze(scenario, datacenter, vps, probes)
 }
 
 /// Analyze collected probes.
+///
+/// Rounds lost to the fault plane carry NaN RTTs and are excluded from the
+/// per-VP medians; Figure 5 carries the resulting coverage. Errors with
+/// [`BbError::InsufficientData`] when no qualifying vantage point keeps a
+/// measurable round on both tiers.
 pub fn analyze(
     scenario: &Scenario,
     datacenter: CityId,
     vps: Vec<VantagePoint>,
     probes: Vec<TierProbe>,
-) -> TiersStudy {
+) -> BbResult<TiersStudy> {
+    let rounds_total = probes.len() as u64;
+    let rounds_kept = probes.iter().filter(|p| p.rtt_ms.is_finite()).count() as u64;
     // Per-VP per-tier medians + qualification flags.
     struct VpAgg {
         premium: Vec<f64>,
@@ -91,12 +100,16 @@ pub fn analyze(
         });
         match p.tier {
             Tier::Premium => {
-                agg.premium.push(p.rtt_ms);
+                if p.rtt_ms.is_finite() {
+                    agg.premium.push(p.rtt_ms);
+                }
                 agg.premium_direct = p.intermediate_ases == 0;
                 agg.premium_ingress_km = p.ingress_distance_km;
             }
             Tier::Standard => {
-                agg.standard.push(p.rtt_ms);
+                if p.rtt_ms.is_finite() {
+                    agg.standard.push(p.rtt_ms);
+                }
                 agg.standard_indirect = p.intermediate_ases >= 1;
                 agg.standard_ingress_km = p.ingress_distance_km;
             }
@@ -154,11 +167,19 @@ pub fn analyze(
         .collect();
     rows.sort_by(|a, b| a.code.cmp(b.code));
 
+    if qualifying.is_empty() {
+        return Err(BbError::insufficient(
+            "fig5 qualifying vantage points",
+            0,
+            1,
+        ));
+    }
     let fig5 = Fig5 {
         rows,
         premium_ingress_within_400km,
         standard_ingress_within_400km,
         qualifying_vps: qualifying.len(),
+        coverage: Coverage::new(rounds_kept, rounds_total),
     };
 
     // Goodput (10 MB transfer-time) comparison across qualifying VPs.
@@ -176,13 +197,13 @@ pub fn analyze(
     }
     let goodput_diff_s = bb_stats::weighted_median(&goodput_points).unwrap_or(0.0);
 
-    TiersStudy {
+    Ok(TiersStudy {
         fig5,
         goodput_diff_s,
         datacenter,
         probes,
         vantage_points: vps,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -196,7 +217,7 @@ mod tests {
             rounds: 4,
             ..Default::default()
         };
-        let s = run(&scenario, &cfg);
+        let s = run(&scenario, &cfg).expect("fault-free study succeeds");
         (scenario, s)
     }
 

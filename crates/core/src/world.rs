@@ -1,7 +1,7 @@
 //! Scenario assembly: one struct holding everything a study needs.
 
 use bb_cdn::{build_provider, Provider, ProviderConfig};
-use bb_netsim::{CongestionConfig, CongestionModel};
+use bb_netsim::{CongestionConfig, CongestionModel, FaultConfig, FaultPlane};
 use bb_topology::{generate, Topology, TopologyConfig};
 use bb_workload::{generate_workload, Workload, WorkloadConfig};
 use serde::Serialize;
@@ -32,6 +32,9 @@ pub struct ScenarioConfig {
     /// selection tracked geography even less (used by the Microsoft-2015
     /// scenario, whose measured anycast catchments were notoriously loose).
     pub exit_fidelity_factor: f64,
+    /// Measurement fault plane (`--faults light|heavy`). `None` runs the
+    /// fault-free pipelines, byte-identical to the pre-fault baseline.
+    pub faults: Option<FaultConfig>,
 }
 
 impl ScenarioConfig {
@@ -70,6 +73,7 @@ impl ScenarioConfig {
             },
             congestion: CongestionConfig::default(),
             exit_fidelity_factor: 1.0,
+            faults: None,
         }
     }
 
@@ -98,6 +102,8 @@ pub struct Scenario {
     pub provider: Provider,
     pub workload: Workload,
     pub congestion: CongestionModel,
+    /// Built from `config.faults`; `None` means fault-free pipelines.
+    pub faults: Option<FaultPlane>,
 }
 
 impl Scenario {
@@ -113,13 +119,23 @@ impl Scenario {
         let provider = build_provider(&mut topo, &config.provider);
         let workload = generate_workload(&topo, &config.workload);
         let congestion = CongestionModel::new(config.seed ^ 0x_c01d, config.congestion.clone());
+        let faults = config
+            .faults
+            .as_ref()
+            .map(|f| FaultPlane::new(config.seed ^ 0x_0bad, f.clone()));
         Scenario {
             config,
             topo,
             provider,
             workload,
             congestion,
+            faults,
         }
+    }
+
+    /// The fault plane to hand to the measurement pipelines.
+    pub fn fault_plane(&self) -> Option<&FaultPlane> {
+        self.faults.as_ref()
     }
 }
 

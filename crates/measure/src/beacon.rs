@@ -9,7 +9,8 @@
 use bb_cdn::{AnycastDeployment, Provider};
 use bb_geo::{CityId, Region};
 use bb_netsim::{
-    sample_min_rtt, CongestionKey, CongestionModel, CongestionPlan, PathPlan, RttModel, SimTime,
+    sample_min_rtt, CongestionKey, CongestionModel, CongestionPlan, FaultPlane, PathPlan,
+    RttModel, SimTime,
 };
 use bb_topology::Topology;
 use bb_workload::{PrefixId, Workload};
@@ -63,16 +64,31 @@ pub struct BeaconMeasurement {
 }
 
 impl BeaconMeasurement {
-    /// RTT of the best measured unicast front-end.
+    /// RTT of the best measured unicast front-end. Beacons lost to the
+    /// fault plane carry `NaN` and are skipped; with *every* unicast beacon
+    /// lost this is `NaN` (and the measurement is incomplete).
     pub fn best_unicast_ms(&self) -> f64 {
-        self.unicast_rtt_ms
+        let best = self
+            .unicast_rtt_ms
             .iter()
             .map(|&(_, r)| r)
-            .fold(f64::INFINITY, f64::min)
+            .filter(|r| r.is_finite())
+            .fold(f64::INFINITY, f64::min);
+        if best.is_finite() {
+            best
+        } else {
+            f64::NAN
+        }
+    }
+
+    /// Whether both sides of the comparison survived the fault plane: the
+    /// anycast beacon reported and at least one unicast beacon did too.
+    pub fn is_complete(&self) -> bool {
+        self.anycast_rtt_ms.is_finite() && self.best_unicast_ms().is_finite()
     }
 
     /// Paper's Fig 3 quantity: anycast − best unicast (positive = anycast
-    /// slower).
+    /// slower). `NaN` when the measurement is incomplete.
     pub fn anycast_penalty_ms(&self) -> f64 {
         self.anycast_rtt_ms - self.best_unicast_ms()
     }
@@ -90,6 +106,7 @@ pub fn run_beacons(
     unicast: &HashMap<CityId, AnycastDeployment>,
     workload: &Workload,
     congestion: &CongestionModel,
+    faults: Option<&FaultPlane>,
     cfg: &BeaconConfig,
 ) -> Vec<BeaconMeasurement> {
     let rtt_model = RttModel::default();
@@ -141,23 +158,66 @@ pub fn run_beacons(
             .map(|(s, svc)| (*s, compile(svc), svc.wan_extra_ms))
             .collect();
 
+        let mut tally = crate::FaultTally::default();
         let mut rows = Vec::with_capacity(cfg.rounds);
         for round in 0..cfg.rounds {
             let t = SimTime::from_hours(round as f64 * cfg.round_spacing_h);
-            let mut rng = StdRng::seed_from_u64(
-                cfg.seed ^ (prefix.id.0 as u64) << 20 ^ round as u64,
-            );
-
-            let measure = |plan: &PathPlan, wan_extra_ms: f64, rng: &mut StdRng| {
-                let det = plan.rtt_ms(t) + 2.0 * wan_extra_ms + FRONTEND_PROCESS_MS;
-                sample_min_rtt(det, &rtt_model, cfg.samples, rng)
+            let (anycast_rtt_ms, unicast_rtt_ms) = match faults {
+                None => {
+                    let mut rng = StdRng::seed_from_u64(
+                        cfg.seed ^ (prefix.id.0 as u64) << 20 ^ round as u64,
+                    );
+                    let measure = |plan: &PathPlan, wan_extra_ms: f64, rng: &mut StdRng| {
+                        let det = plan.rtt_ms(t) + 2.0 * wan_extra_ms + FRONTEND_PROCESS_MS;
+                        sample_min_rtt(det, &rtt_model, cfg.samples, rng)
+                    };
+                    let any = measure(&any_plan, any_svc.wan_extra_ms, &mut rng);
+                    let uni: Vec<(CityId, f64)> = uni_plans
+                        .iter()
+                        .map(|(s, plan, wan)| (*s, measure(plan, *wan, &mut rng)))
+                        .collect();
+                    (any, uni)
+                }
+                Some(fp) => {
+                    // Beacons lost to the fault plane report NaN; the row
+                    // is still emitted so analysis can count coverage.
+                    // `fe_tag` identifies the front-end (u64::MAX =
+                    // anycast); churn is keyed per ⟨prefix, front-end⟩
+                    // route, loss per ⟨route, round⟩ beacon.
+                    let fe_measure = |plan: &PathPlan,
+                                          wan_extra_ms: f64,
+                                          fe_tag: u64,
+                                          tally: &mut crate::FaultTally| {
+                        let route_key =
+                            FaultPlane::stream_key(&[prefix.id.0 as u64, fe_tag]);
+                        if fp.route_withdrawn(route_key, t) {
+                            tally.lost += 1;
+                            return f64::NAN;
+                        }
+                        let probe_key = FaultPlane::stream_key(&[route_key, round as u64]);
+                        crate::faulted_attempts(fp, probe_key, tally, |attempt| {
+                            let ta = t + attempt as f64 * fp.config().retry_backoff_min;
+                            let mut rng = StdRng::seed_from_u64(bb_exec::derive_seed(
+                                cfg.seed ^ probe_key,
+                                attempt as u64,
+                            ));
+                            let det =
+                                plan.rtt_ms(ta) + 2.0 * wan_extra_ms + FRONTEND_PROCESS_MS;
+                            sample_min_rtt(det, &rtt_model, cfg.samples, &mut rng)
+                        })
+                        .unwrap_or(f64::NAN)
+                    };
+                    let any =
+                        fe_measure(&any_plan, any_svc.wan_extra_ms, u64::MAX, &mut tally);
+                    let uni: Vec<(CityId, f64)> = uni_plans
+                        .iter()
+                        .map(|(s, plan, wan)| {
+                            (*s, fe_measure(plan, *wan, s.0 as u64, &mut tally))
+                        })
+                        .collect();
+                    (any, uni)
+                }
             };
-
-            let anycast_rtt_ms = measure(&any_plan, any_svc.wan_extra_ms, &mut rng);
-            let unicast_rtt_ms: Vec<(CityId, f64)> = uni_plans
-                .iter()
-                .map(|(s, plan, wan)| (*s, measure(plan, *wan, &mut rng)))
-                .collect();
 
             rows.push(BeaconMeasurement {
                 prefix: prefix.id,
@@ -169,9 +229,17 @@ pub fn run_beacons(
                 unicast_rtt_ms,
             });
         }
-        Some(rows)
+        Some((rows, tally))
     });
-    let measurements: Vec<BeaconMeasurement> = per_prefix.into_iter().flatten().flatten().collect();
+    let mut tally = crate::FaultTally::default();
+    let mut measurements: Vec<BeaconMeasurement> = Vec::new();
+    for (prefix_rows, prefix_tally) in per_prefix.into_iter().flatten() {
+        measurements.extend(prefix_rows);
+        tally.merge(prefix_tally);
+    }
+    if faults.is_some() {
+        tally.publish();
+    }
     let draws: usize = measurements.iter().map(|m| 1 + m.unicast_rtt_ms.len()).sum();
     bb_exec::timing::add_count("samples:beacon", draws * cfg.samples);
     measurements
@@ -208,7 +276,9 @@ mod tests {
             rounds: 2,
             ..Default::default()
         };
-        let ms = run_beacons(&topo, &provider, &anycast, &unicast, &workload, &congestion, &cfg);
+        let ms = run_beacons(
+            &topo, &provider, &anycast, &unicast, &workload, &congestion, None, &cfg,
+        );
         (topo, ms)
     }
 
@@ -274,5 +344,51 @@ mod tests {
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.anycast_rtt_ms, y.anycast_rtt_ms);
         }
+    }
+
+    #[test]
+    fn faulted_beacons_flag_incomplete_rows() {
+        use bb_netsim::{FaultConfig, FaultPlane};
+        let mut topo = generate(&TopologyConfig::small(91));
+        let provider = build_provider(&mut topo, &ProviderConfig::microsoft_like(9));
+        let workload = generate_workload(&topo, &WorkloadConfig::default());
+        let congestion = CongestionModel::new(9, CongestionConfig::default());
+        let sites = provider.pops.clone();
+        let anycast = AnycastDeployment::deploy(&topo, &provider, &sites);
+        let unicast = build_unicast_deployments(&topo, &provider, &sites);
+        let cfg = BeaconConfig {
+            rounds: 4,
+            ..Default::default()
+        };
+        let plane = FaultPlane::new(
+            21,
+            FaultConfig {
+                probe_loss: 0.30,
+                max_retries: 0,
+                ..FaultConfig::heavy()
+            },
+        );
+        let run = || {
+            run_beacons(
+                &topo, &provider, &anycast, &unicast, &workload, &congestion, Some(&plane),
+                &cfg,
+            )
+        };
+        let ms = run();
+        let incomplete = ms.iter().filter(|m| !m.is_complete()).count();
+        let complete = ms.len() - incomplete;
+        assert!(incomplete > 0, "30% loss must kill some beacons");
+        assert!(complete > incomplete, "most beacons still report");
+        for m in &ms {
+            if m.is_complete() {
+                assert!(m.anycast_penalty_ms().is_finite());
+            } else {
+                assert!(m.anycast_penalty_ms().is_nan());
+            }
+        }
+        // Cached churn processes in the same plane object: a repeat run is
+        // byte-identical.
+        let again = run();
+        assert_eq!(format!("{ms:?}"), format!("{again:?}"));
     }
 }

@@ -15,6 +15,15 @@
 //!   pings (min of 5) and traceroutes (ingress inference) from ⟨City, AS⟩
 //!   vantage points to Premium- and Standard-tier VMs.
 
+//!
+//! All three pipelines optionally consume a
+//! [`FaultPlane`](bb_netsim::FaultPlane): probes are lost, time out, and
+//! retry with bounded backoff; routes are withdrawn mid-window by churn.
+//! Measurements that do not survive are emitted as `NaN` (never silently
+//! averaged) and per-campaign fault tallies land in `bb_exec::timing`
+//! counters (`faults:*`). With no fault plane the pipelines run the exact
+//! pre-fault code path, byte for byte.
+
 pub mod beacon;
 pub mod probe;
 pub mod spray;
@@ -22,3 +31,60 @@ pub mod spray;
 pub use beacon::{run_beacons, BeaconConfig, BeaconMeasurement};
 pub use probe::{probe_tiers, select_vantage_points, ProbeConfig, TierProbe, VantagePoint};
 pub use spray::{spray, SprayConfig, SprayDataset, WindowRow};
+
+/// Per-campaign fault bookkeeping, accumulated inside `par_map` tasks and
+/// merged into the process-wide `timing` counters once per campaign.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct FaultTally {
+    /// Probe attempts that never reported (lost in flight or timed out).
+    pub lost: usize,
+    /// Retry attempts issued after a lost/timed-out probe.
+    pub retries: usize,
+    /// Aggregation windows flagged degraded (below min-sample threshold or
+    /// route withdrawn).
+    pub dropped: usize,
+}
+
+impl FaultTally {
+    pub fn merge(&mut self, other: FaultTally) {
+        self.lost += other.lost;
+        self.retries += other.retries;
+        self.dropped += other.dropped;
+    }
+
+    /// Publish into the timing counters. Called only when a fault plane is
+    /// active, so fault-free runs keep their counter set unchanged.
+    pub fn publish(&self) {
+        bb_exec::timing::add_count("faults:samples_lost", self.lost);
+        bb_exec::timing::add_count("faults:retries", self.retries);
+        bb_exec::timing::add_count("faults:windows_dropped", self.dropped);
+    }
+}
+
+/// One faulted measurement: run up to `1 + max_retries` attempts of
+/// `attempt -> Option<rtt>` (the closure returns `None` for a sample that
+/// exceeded the measurement timeout), skipping attempts lost in flight.
+/// Returns the first surviving RTT; `tally` absorbs losses and retries.
+pub(crate) fn faulted_attempts(
+    fp: &bb_netsim::FaultPlane,
+    probe_key: u64,
+    tally: &mut FaultTally,
+    mut attempt_rtt: impl FnMut(u32) -> f64,
+) -> Option<f64> {
+    for attempt in 0..=fp.config().max_retries {
+        if attempt > 0 {
+            tally.retries += 1;
+        }
+        if fp.lost(probe_key, attempt) {
+            tally.lost += 1;
+            continue;
+        }
+        let rtt = attempt_rtt(attempt);
+        if fp.timed_out(rtt) {
+            tally.lost += 1;
+            continue;
+        }
+        return Some(rtt);
+    }
+    None
+}

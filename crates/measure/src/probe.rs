@@ -9,7 +9,8 @@
 use bb_cdn::{Provider, Tier, TierDeployment};
 use bb_geo::{CityId, CountryIdx};
 use bb_netsim::{
-    sample_min_rtt, CongestionKey, CongestionModel, CongestionPlan, RttModel, SimTime,
+    sample_min_rtt, CongestionKey, CongestionModel, CongestionPlan, FaultPlane, RttModel,
+    SimTime,
 };
 use bb_topology::{AsClass, AsId, Topology};
 use rand::rngs::StdRng;
@@ -57,7 +58,8 @@ pub struct TierProbe {
     pub vp_index: usize,
     pub tier: Tier,
     pub time: SimTime,
-    /// Min of the round's pings, ms.
+    /// Min of the round's pings, ms. `NaN` when the round was lost to the
+    /// fault plane (all pings lost/timed out, or route withdrawn).
     pub rtt_ms: f64,
     /// Traceroute-inferred provider ingress.
     pub ingress_city: CityId,
@@ -100,6 +102,7 @@ pub fn probe_tiers(
     standard: &TierDeployment,
     vps: &[VantagePoint],
     congestion: &CongestionModel,
+    faults: Option<&FaultPlane>,
     cfg: &ProbeConfig,
 ) -> Vec<TierProbe> {
     let rtt_model = RttModel::default();
@@ -107,8 +110,9 @@ pub fn probe_tiers(
     // One task per vantage point; the RNG is keyed on (seed, vp index,
     // round, tier), so output is identical for every worker count, and the
     // in-order flatten reproduces the sequential vp-major row order.
-    let per_vp: Vec<Vec<TierProbe>> = bb_exec::par_map(vps, |vi, vp| {
+    let per_vp: Vec<(Vec<TierProbe>, crate::FaultTally)> = bb_exec::par_map(vps, |vi, vp| {
         let mut out = Vec::new();
+        let mut tally = crate::FaultTally::default();
         let lastmile = CongestionKey::LastMile(0x_caa0_0000 | vi as u64);
         let cplan = CongestionPlan::new(congestion);
         for (tier, dep) in [(Tier::Premium, premium), (Tier::Standard, standard)] {
@@ -125,11 +129,39 @@ pub fn probe_tiers(
             let plan = cplan.compile_path(topo, &tp.path, Some(lastmile));
             for round in 0..cfg.rounds {
                 let t = SimTime::from_hours(round as f64 * cfg.round_spacing_h);
-                let det = plan.rtt_ms(t) + 2.0 * tp.wan_ms;
-                let mut rng = StdRng::seed_from_u64(
-                    cfg.seed ^ (vi as u64) << 24 ^ (round as u64) << 2 ^ tier as u64,
-                );
-                let rtt_ms = sample_min_rtt(det, &rtt_model, cfg.pings, &mut rng);
+                let rtt_ms = match faults {
+                    None => {
+                        let det = plan.rtt_ms(t) + 2.0 * tp.wan_ms;
+                        let mut rng = StdRng::seed_from_u64(
+                            cfg.seed ^ (vi as u64) << 24 ^ (round as u64) << 2 ^ tier as u64,
+                        );
+                        sample_min_rtt(det, &rtt_model, cfg.pings, &mut rng)
+                    }
+                    Some(fp) => {
+                        // Churn per ⟨VP, tier⟩ route; loss per round. Lost
+                        // rounds are emitted as NaN so the analysis can
+                        // count coverage per vantage point.
+                        let route_key =
+                            FaultPlane::stream_key(&[vi as u64, tier as u64]);
+                        if fp.route_withdrawn(route_key, t) {
+                            tally.lost += 1;
+                            f64::NAN
+                        } else {
+                            let probe_key =
+                                FaultPlane::stream_key(&[route_key, round as u64]);
+                            crate::faulted_attempts(fp, probe_key, &mut tally, |attempt| {
+                                let ta = t + attempt as f64 * fp.config().retry_backoff_min;
+                                let mut rng = StdRng::seed_from_u64(bb_exec::derive_seed(
+                                    cfg.seed ^ probe_key,
+                                    attempt as u64,
+                                ));
+                                let det = plan.rtt_ms(ta) + 2.0 * tp.wan_ms;
+                                sample_min_rtt(det, &rtt_model, cfg.pings, &mut rng)
+                            })
+                            .unwrap_or(f64::NAN)
+                        }
+                    }
+                };
                 out.push(TierProbe {
                     vp_index: vi,
                     tier,
@@ -141,9 +173,17 @@ pub fn probe_tiers(
                 });
             }
         }
-        out
+        (out, tally)
     });
-    let probes: Vec<TierProbe> = per_vp.into_iter().flatten().collect();
+    let mut tally = crate::FaultTally::default();
+    let mut probes: Vec<TierProbe> = Vec::new();
+    for (vp_probes, vp_tally) in per_vp {
+        probes.extend(vp_probes);
+        tally.merge(vp_tally);
+    }
+    if faults.is_some() {
+        tally.publish();
+    }
     bb_exec::timing::add_count("samples:probe", probes.len() * cfg.pings);
     probes
 }
@@ -173,7 +213,9 @@ mod tests {
             rounds: 3,
             ..Default::default()
         };
-        let probes = probe_tiers(&topo, &provider, &premium, &standard, &vps, &congestion, &cfg);
+        let probes = probe_tiers(
+            &topo, &provider, &premium, &standard, &vps, &congestion, None, &cfg,
+        );
         (topo, provider, vps, probes)
     }
 
@@ -240,6 +282,40 @@ mod tests {
         assert_eq!(a.len(), b.len());
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.rtt_ms, y.rtt_ms);
+        }
+    }
+
+    #[test]
+    fn faulted_probes_emit_nan_for_lost_rounds() {
+        use bb_netsim::{FaultConfig, FaultPlane};
+        let mut topo = generate(&TopologyConfig::small(101));
+        let provider = build_provider(&mut topo, &ProviderConfig::google_like(10));
+        let dc = provider.pops[0];
+        let premium = TierDeployment::deploy(&topo, &provider, dc, Tier::Premium);
+        let standard = TierDeployment::deploy(&topo, &provider, dc, Tier::Standard);
+        let vps = select_vantage_points(&topo, 7);
+        let congestion = CongestionModel::new(10, CongestionConfig::default());
+        let cfg = ProbeConfig {
+            rounds: 3,
+            ..Default::default()
+        };
+        let plane = FaultPlane::new(
+            33,
+            FaultConfig {
+                probe_loss: 0.40,
+                max_retries: 0,
+                ..FaultConfig::heavy()
+            },
+        );
+        let probes = probe_tiers(
+            &topo, &provider, &premium, &standard, &vps, &congestion, Some(&plane), &cfg,
+        );
+        let lost = probes.iter().filter(|p| p.rtt_ms.is_nan()).count();
+        let kept = probes.len() - lost;
+        assert!(lost > 0, "40% loss with no retry must drop some rounds");
+        assert!(kept > lost, "most rounds survive");
+        for p in probes.iter().filter(|p| !p.rtt_ms.is_nan()) {
+            assert!(p.rtt_ms > 0.0 && p.rtt_ms < 2000.0);
         }
     }
 }

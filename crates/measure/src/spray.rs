@@ -12,8 +12,8 @@ use bb_bgp::{provider_rib, Announcement, ProviderRouteClass};
 use bb_cdn::Provider;
 use bb_geo::CityId;
 use bb_netsim::{
-    realize_path, sample_min_rtt, CongestionKey, CongestionModel, CongestionPlan, PathPlan,
-    RealizeSpec, RealizedPath, RttModel, SimTime, UtilProbe, Window,
+    realize_path, sample_min_rtt, CongestionKey, CongestionModel, CongestionPlan, FaultPlane,
+    PathPlan, RealizeSpec, RealizedPath, RttModel, SimTime, UtilProbe, Window,
 };
 use bb_topology::{AsId, InterconnectId, Topology};
 use bb_workload::{PrefixId, Workload};
@@ -79,6 +79,10 @@ pub struct WindowRow {
     pub route_median_ms: Vec<f64>,
     /// Egress-link utilization per route at the window midpoint.
     pub route_util: Vec<f64>,
+    /// Sessions that survived the fault plane per route. Degraded routes
+    /// (below the per-window minimum) carry a `NaN` median; fault-free runs
+    /// always report the full session count.
+    pub route_samples: Vec<u32>,
     /// Traffic volume of the prefix in this window (weighting).
     pub volume: f64,
 }
@@ -98,11 +102,19 @@ impl SprayDataset {
 }
 
 /// Run the spray campaign.
+///
+/// With `faults: Some(..)` the campaign runs through the measurement fault
+/// plane: sprayed sessions are lost/timed out and retried with bounded
+/// backoff, churned-away routes lose whole windows, and routes that keep
+/// fewer than `min_samples_per_window` sessions report a `NaN` median
+/// (flagged, never averaged). `faults: None` takes the exact pre-fault
+/// code path.
 pub fn spray(
     topo: &Topology,
     provider: &Provider,
     workload: &Workload,
     congestion: &CongestionModel,
+    faults: Option<&FaultPlane>,
     cfg: &SprayConfig,
 ) -> SprayDataset {
     let targets = bb_exec::timing::time("spray:targets", || {
@@ -146,7 +158,7 @@ pub fn spray(
     // (seed, window, target index, route index), so the rows are identical
     // for every worker count, and the in-order flatten keeps the row order
     // of the old sequential nesting (target-major, window-minor).
-    let per_target: Vec<Vec<WindowRow>> =
+    let per_target: Vec<(Vec<WindowRow>, crate::FaultTally)> =
         bb_exec::timing::time("spray:windows", || bb_exec::par_map(&targets, |ti, target| {
             let prefix = workload.prefix(target.prefix);
             let client_offset = topo
@@ -159,26 +171,103 @@ pub fn spray(
             // target; quantile_select matches the old clone-and-sort median
             // bit-for-bit.
             let mut sessions = vec![0.0_f64; cfg.sessions_per_window];
+            let mut tally = crate::FaultTally::default();
             let mut rows = Vec::with_capacity(windows.len());
             for &w in &windows {
                 let t = w.midpoint();
                 let mut medians = Vec::with_capacity(target.routes.len());
                 let mut utils = Vec::with_capacity(target.routes.len());
+                let mut counts = Vec::with_capacity(target.routes.len());
                 for (ri, plan) in plans[ti].iter().enumerate() {
-                    let det = plan.rtt.rtt_ms(t);
                     // Deterministic per (seed, window, target, route)
                     // sampling. Chained SplitMix64 mixing: the raw
                     // shift-XOR scheme used previously left low-entropy,
                     // correlated streams for adjacent (window, target,
                     // route) triples (e.g. ri and ti bits could cancel).
-                    let mut rng = StdRng::seed_from_u64(bb_exec::derive_seed(
+                    let route_rng_seed = bb_exec::derive_seed(
                         bb_exec::derive_seed(bb_exec::derive_seed(cfg.seed, w.0 as u64), ti as u64),
                         ri as u64,
-                    ));
-                    for s in sessions.iter_mut() {
-                        *s = sample_min_rtt(det, &rtt_model, cfg.rtt_samples_per_session, &mut rng);
+                    );
+                    match faults {
+                        None => {
+                            let det = plan.rtt.rtt_ms(t);
+                            let mut rng = StdRng::seed_from_u64(route_rng_seed);
+                            for s in sessions.iter_mut() {
+                                *s = sample_min_rtt(
+                                    det,
+                                    &rtt_model,
+                                    cfg.rtt_samples_per_session,
+                                    &mut rng,
+                                );
+                            }
+                            medians.push(bb_stats::quantile::quantile_select(&mut sessions, 0.5));
+                            counts.push(cfg.sessions_per_window as u32);
+                        }
+                        Some(fp) => {
+                            // Churn is a property of the route, not the
+                            // window: the same key across all windows.
+                            let route_key = FaultPlane::stream_key(&[
+                                target.pop.0 as u64,
+                                target.prefix.0 as u64,
+                                ri as u64,
+                            ]);
+                            if fp.route_withdrawn(route_key, t) {
+                                // No path: every session of the window is
+                                // lost outright, no retry can help.
+                                tally.lost += cfg.sessions_per_window;
+                                tally.dropped += 1;
+                                medians.push(f64::NAN);
+                                counts.push(0);
+                            } else {
+                                let mut kept: Vec<f64> =
+                                    Vec::with_capacity(cfg.sessions_per_window);
+                                for s in 0..cfg.sessions_per_window {
+                                    let probe_key = FaultPlane::stream_key(&[
+                                        route_key,
+                                        w.0 as u64,
+                                        s as u64,
+                                    ]);
+                                    let got = crate::faulted_attempts(
+                                        fp,
+                                        probe_key,
+                                        &mut tally,
+                                        |attempt| {
+                                            // Retries re-observe the path a
+                                            // little later (backoff).
+                                            let ta = t + attempt as f64
+                                                * fp.config().retry_backoff_min;
+                                            let mut rng =
+                                                StdRng::seed_from_u64(bb_exec::derive_seed(
+                                                    bb_exec::derive_seed(
+                                                        route_rng_seed,
+                                                        s as u64,
+                                                    ),
+                                                    attempt as u64,
+                                                ));
+                                            sample_min_rtt(
+                                                plan.rtt.rtt_ms(ta),
+                                                &rtt_model,
+                                                cfg.rtt_samples_per_session,
+                                                &mut rng,
+                                            )
+                                        },
+                                    );
+                                    if let Some(v) = got {
+                                        kept.push(v);
+                                    }
+                                }
+                                counts.push(kept.len() as u32);
+                                if kept.len() < fp.config().min_samples_per_window {
+                                    tally.dropped += 1;
+                                    medians.push(f64::NAN);
+                                } else {
+                                    medians.push(bb_stats::quantile::quantile_select(
+                                        &mut kept, 0.5,
+                                    ));
+                                }
+                            }
+                        }
                     }
-                    medians.push(bb_stats::quantile::quantile_select(&mut sessions, 0.5));
                     utils.push(plan.egress_util.utilization(t));
                 }
                 let volume =
@@ -189,12 +278,21 @@ pub fn spray(
                     prefix: target.prefix,
                     route_median_ms: medians,
                     route_util: utils,
+                    route_samples: counts,
                     volume,
                 });
             }
-            rows
+            (rows, tally)
         }));
-    let rows: Vec<WindowRow> = per_target.into_iter().flatten().collect();
+    let mut tally = crate::FaultTally::default();
+    let mut rows: Vec<WindowRow> = Vec::new();
+    for (target_rows, target_tally) in per_target {
+        rows.extend(target_rows);
+        tally.merge(target_tally);
+    }
+    if faults.is_some() {
+        tally.publish();
+    }
 
     let route_windows: usize = targets.iter().map(|t| t.routes.len()).sum::<usize>()
         * windows.len();
@@ -308,7 +406,7 @@ mod tests {
             sessions_per_window: 5,
             ..Default::default()
         };
-        let ds = spray(&topo, &provider, &workload, &congestion, &cfg);
+        let ds = spray(&topo, &provider, &workload, &congestion, None, &cfg);
         (topo, ds)
     }
 
@@ -339,6 +437,7 @@ mod tests {
         let (_, ds) = tiny_campaign();
         for row in &ds.rows {
             assert_eq!(row.route_median_ms.len(), row.route_util.len());
+            assert_eq!(row.route_median_ms.len(), row.route_samples.len());
             assert!(!row.route_median_ms.is_empty());
             assert!(row.volume > 0.0);
             for &m in &row.route_median_ms {
@@ -347,7 +446,73 @@ mod tests {
             for &u in &row.route_util {
                 assert!((0.0..=1.0).contains(&u));
             }
+            for &n in &row.route_samples {
+                assert_eq!(n as usize, 5, "fault-free runs keep every session");
+            }
         }
+    }
+
+    #[test]
+    fn faulted_campaign_flags_degraded_windows() {
+        use bb_netsim::{FaultConfig, FaultPlane};
+        let mut topo = generate(&TopologyConfig::small(81));
+        let provider = build_provider(&mut topo, &ProviderConfig::facebook_like(8));
+        let workload = generate_workload(&topo, &WorkloadConfig::default());
+        let congestion = CongestionModel::new(8, CongestionConfig::default());
+        let cfg = SprayConfig {
+            days: 0.5,
+            window_stride: 8,
+            sessions_per_window: 5,
+            ..Default::default()
+        };
+        // Aggressive faults so every failure mode appears at tiny scale.
+        let plane = FaultPlane::new(
+            13,
+            FaultConfig {
+                probe_loss: 0.35,
+                max_retries: 1,
+                churn_events_per_day: 6.0,
+                min_samples_per_window: 4,
+                ..FaultConfig::heavy()
+            },
+        );
+        let ds = spray(&topo, &provider, &workload, &congestion, Some(&plane), &cfg);
+
+        let mut degraded = 0usize;
+        let mut kept = 0usize;
+        for row in &ds.rows {
+            for (ri, &m) in row.route_median_ms.iter().enumerate() {
+                let n = row.route_samples[ri] as usize;
+                if m.is_nan() {
+                    degraded += 1;
+                    assert!(
+                        n < plane.config().min_samples_per_window,
+                        "NaN median must mean a degraded window, got {n} samples"
+                    );
+                } else {
+                    kept += 1;
+                    assert!(m.is_finite() && m > 0.0);
+                    assert!(n >= plane.config().min_samples_per_window);
+                }
+            }
+        }
+        assert!(degraded > 0, "aggressive faults must degrade some windows");
+        assert!(kept > degraded, "most windows still survive");
+
+        // Same plane parameters, fresh plane object: byte-identical rows —
+        // the fault draws are pure functions of (seed, stream).
+        let plane2 = FaultPlane::new(
+            13,
+            FaultConfig {
+                probe_loss: 0.35,
+                max_retries: 1,
+                churn_events_per_day: 6.0,
+                min_samples_per_window: 4,
+                ..FaultConfig::heavy()
+            },
+        );
+        let ds2 = spray(&topo, &provider, &workload, &congestion, Some(&plane2), &cfg);
+        assert_eq!(format!("{:?}", ds.rows), format!("{:?}", ds2.rows));
     }
 
     #[test]

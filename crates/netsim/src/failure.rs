@@ -17,6 +17,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// What can fail.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -84,11 +86,21 @@ impl Outage {
     }
 }
 
+/// Times the read→write upgrade in [`FailureModel::outages`] found the key
+/// already materialized by a racing worker (same double-check pattern as
+/// `CongestionModel::process`).
+static OUTAGE_RACES_CLOSED: AtomicUsize = AtomicUsize::new(0);
+
+/// Process-wide count of closed outage-materialization races.
+pub fn outage_races_closed() -> usize {
+    OUTAGE_RACES_CLOSED.load(Ordering::Relaxed)
+}
+
 /// The failure plane.
 pub struct FailureModel {
     seed: u64,
     cfg: FailureConfig,
-    cache: RwLock<HashMap<u64, Vec<Outage>>>,
+    cache: RwLock<HashMap<u64, Arc<[Outage]>>>,
 }
 
 impl FailureModel {
@@ -104,15 +116,24 @@ impl FailureModel {
         &self.cfg
     }
 
-    /// All outages of an entity across the horizon. `capacity_gbps` applies
-    /// the small-link reliability penalty for `FailureKey::Link`s.
-    pub fn outages(&self, key: FailureKey, capacity_gbps: f64) -> Vec<Outage> {
+    /// All outages of an entity across the horizon, as a shared slice —
+    /// queries after the first hand out the cached `Arc` without copying.
+    /// `capacity_gbps` applies the small-link reliability penalty for
+    /// `FailureKey::Link`s.
+    pub fn outages(&self, key: FailureKey, capacity_gbps: f64) -> Arc<[Outage]> {
         let code = key.encode();
         if let Some(v) = self.cache.read().get(&code) {
-            return v.clone();
+            return Arc::clone(v);
         }
-        let v = self.materialize(key, capacity_gbps);
-        self.cache.write().entry(code).or_insert(v.clone());
+        // Miss: take the write lock, then re-check — a racing worker may
+        // have materialized the same key between our read and write.
+        let mut cache = self.cache.write();
+        if let Some(v) = cache.get(&code) {
+            OUTAGE_RACES_CLOSED.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(v);
+        }
+        let v: Arc<[Outage]> = self.materialize(key, capacity_gbps).into();
+        cache.insert(code, Arc::clone(&v));
         v
     }
 
@@ -174,7 +195,16 @@ mod tests {
         let a = model();
         let b = model();
         let k = FailureKey::Site(CityId(3));
-        assert_eq!(a.outages(k, 0.0), b.outages(k, 0.0));
+        assert_eq!(&*a.outages(k, 0.0), &*b.outages(k, 0.0));
+    }
+
+    #[test]
+    fn cache_hands_out_shared_slices() {
+        let m = model();
+        let k = FailureKey::Site(CityId(9));
+        let a = m.outages(k, 0.0);
+        let b = m.outages(k, 0.0);
+        assert!(Arc::ptr_eq(&a, &b), "repeat queries must not re-clone");
     }
 
     #[test]
@@ -185,7 +215,7 @@ mod tests {
             for w in v.windows(2) {
                 assert!(w[0].end_min <= w[1].start_min);
             }
-            for o in &v {
+            for o in v.iter() {
                 assert!(o.duration_min() >= 1.0);
                 assert!(o.start_min < m.config().horizon_min);
             }

@@ -19,6 +19,9 @@
 //!   handles (bit-identical to the naive walk);
 //! * [`goodput`] is a Mathis-style throughput model for the paper's
 //!   footnote-3 goodput comparison;
+//! * [`failure`] and [`fault`] inject failures: the former takes down
+//!   sites and links of the simulated world, the latter degrades the
+//!   *measurement* plane itself (probe loss, timeouts, route churn);
 //! * [`time`] holds the simulation clock (minutes) and the 15-minute
 //!   aggregation windows of §3.1.
 //!
@@ -27,6 +30,7 @@
 
 pub mod congestion;
 pub mod failure;
+pub mod fault;
 pub mod goodput;
 pub mod path;
 pub mod plan;
@@ -37,7 +41,8 @@ pub use congestion::{
     materialize_races_closed, CongestionConfig, CongestionKey, CongestionModel, KeyProcess,
 };
 pub use plan::{CongestionPlan, PathPlan, UtilProbe};
-pub use failure::{FailureConfig, FailureKey, FailureModel, Outage};
+pub use failure::{outage_races_closed, FailureConfig, FailureKey, FailureModel, Outage};
+pub use fault::{churn_races_closed, FaultConfig, FaultLevel, FaultPlane};
 pub use goodput::goodput_mbps;
 pub use path::{realize_path, RealizeSpec, RealizedPath, Segment, TracerouteHop};
 pub use rtt::{path_base_rtt_ms, path_rtt_ms, sample_min_rtt, RttModel};

@@ -26,7 +26,7 @@ fn main() {
         rounds: 10,
         ..Default::default()
     };
-    let study = study_tiers::run(&scenario, &cfg);
+    let study = study_tiers::run(&scenario, &cfg).expect("fault-free study succeeds");
 
     println!(
         "data center: {} | probes: {} | qualifying VPs (direct Premium, \

@@ -21,7 +21,7 @@ fn main() {
         rounds: 8,
         ..Default::default()
     };
-    let study = study_anycast::run(&scenario, &cfg);
+    let study = study_anycast::run(&scenario, &cfg).expect("fault-free study succeeds");
 
     println!("{}", study.fig3.render());
     println!("{}", study.fig4.render());

@@ -27,6 +27,7 @@ fn main() {
         &scenario.provider,
         &scenario.workload,
         &scenario.congestion,
+        None,
         &cfg,
     );
 

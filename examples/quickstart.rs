@@ -31,7 +31,7 @@ fn main() {
         window_stride: 4,
         ..Default::default()
     };
-    let study = study_egress::run(&scenario, &cfg);
+    let study = study_egress::run(&scenario, &cfg).expect("fault-free study succeeds");
 
     // 3. The paper's question: how often could we beat BGP?
     println!("{}", study.fig1.render());

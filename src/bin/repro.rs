@@ -2,10 +2,16 @@
 //!
 //! ```text
 //! repro [EXPERIMENT] [--scale test|full|large] [--seed N] [--jobs N] [--timing]
+//!       [--faults off|light|heavy] [--keep-going]
 //!
 //! EXPERIMENT: all (default) | fig1 | fig2 | s311 | fig3 | fig4 | fig5 |
 //!             calib | goodput | xpeer | xgroom | xsites | xonenet | xsplit
 //! ```
+//!
+//! Exit codes: 0 = every selected experiment succeeded; 1 = a runtime
+//! failure (an experiment errored or panicked — with `--keep-going` the
+//! survivors still print); 2 = usage error (bad flag value, unknown
+//! experiment).
 //!
 //! Experiments run concurrently on up to `--jobs` workers, but stdout is
 //! assembled in a fixed order from per-experiment buffers, and every
@@ -21,8 +27,9 @@ use beating_bgp::core::ext::{
     split_tcp,
 };
 use beating_bgp::core::{calibration, study_anycast, study_egress, study_tiers};
-use beating_bgp::core::{Scale, Scenario, ScenarioConfig};
+use beating_bgp::core::{BbResult, Scale, Scenario, ScenarioConfig};
 use beating_bgp::exec::timing;
+use beating_bgp::netsim::FaultLevel;
 use beating_bgp::measure::{BeaconConfig, ProbeConfig, SprayConfig};
 use std::fmt::Write as _;
 use std::sync::OnceLock;
@@ -37,6 +44,10 @@ struct Args {
     timing: bool,
     /// Write a structured perf report (phases, counters, cache stats) here.
     timing_json: Option<std::path::PathBuf>,
+    /// Fault-injection level for the measurement pipelines.
+    faults: FaultLevel,
+    /// Keep running surviving experiments when one fails or panics.
+    keep_going: bool,
 }
 
 fn parse_args() -> Args {
@@ -47,6 +58,8 @@ fn parse_args() -> Args {
     let mut jobs = 0usize;
     let mut timing = false;
     let mut timing_json: Option<std::path::PathBuf> = None;
+    let mut faults = FaultLevel::Off;
+    let mut keep_going = false;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
@@ -84,6 +97,17 @@ fn parse_args() -> Args {
                     });
             }
             "--timing" => timing = true,
+            "--faults" => {
+                i += 1;
+                faults = match argv.get(i).map(String::as_str).unwrap_or("").parse() {
+                    Ok(level) => level,
+                    Err(e) => {
+                        eprintln!("--faults: {e}");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--keep-going" => keep_going = true,
             "--timing-json" => {
                 i += 1;
                 timing_json = Some(std::path::PathBuf::from(
@@ -108,7 +132,8 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 println!(
                     "repro [EXPERIMENT] [--scale test|full|large] [--seed N] [--jobs N] \
-                     [--timing] [--timing-json PATH] [--csv DIR]\n\
+                     [--timing] [--timing-json PATH] [--csv DIR] \
+                     [--faults off|light|heavy] [--keep-going]\n\
                      experiments: all fig1 fig2 s311 fig3 fig4 fig5 calib goodput \
                      xpeer xgroom xsites xonenet xsplit xablate xavail xhybrid xfabric xecs\n\
                      --jobs N   worker threads (default: available cores); output is\n\
@@ -116,8 +141,14 @@ fn parse_args() -> Args {
                      --timing   per-experiment wall-clock, sample counters, and cache\n\
                      {:11}stats on stderr\n\
                      --timing-json PATH  write the structured perf report (phases,\n\
-                     {:11}samples/sec, plan compile vs query time, cache rates) as JSON",
-                    "", "", ""
+                     {:11}samples/sec, plan compile vs query time, cache rates) as JSON\n\
+                     --faults L  inject measurement faults (probe loss, timeouts, BGP\n\
+                     {:11}route churn) at level L; off (default) is byte-identical\n\
+                     {:11}to a build without the fault plane\n\
+                     --keep-going  on experiment failure or panic, print a diagnostic\n\
+                     {:11}and continue; survivors print normally, exit code 1\n\
+                     exit codes: 0 ok, 1 runtime failure, 2 usage error",
+                    "", "", "", "", "", ""
                 );
                 std::process::exit(0);
             }
@@ -133,6 +164,8 @@ fn parse_args() -> Args {
         jobs,
         timing,
         timing_json,
+        faults,
+        keep_going,
     }
 }
 
@@ -173,6 +206,22 @@ fn perf_report(args: &Args, wall_s: f64) -> beating_bgp::bench::PerfReport {
             misses: misses as u64,
             resident: resident as u64,
         },
+        faults: {
+            let counters = timing::counters();
+            let get = |label: &str| {
+                counters
+                    .iter()
+                    .find(|(l, _)| l == label)
+                    .map(|&(_, c)| c)
+                    .unwrap_or(0)
+            };
+            beating_bgp::bench::FaultStats {
+                samples_lost: get("faults:samples_lost"),
+                retries: get("faults:retries"),
+                windows_dropped: get("faults:windows_dropped"),
+                panics_isolated: beating_bgp::exec::panics_isolated() as u64,
+            }
+        },
         congestion_races_closed: beating_bgp::netsim::materialize_races_closed() as u64,
     }
     .finalize()
@@ -200,6 +249,14 @@ fn main() {
     let t0 = std::time::Instant::now();
     beating_bgp::exec::set_jobs(args.jobs);
     let want = |name: &str| args.experiment == "all" || args.experiment == name;
+    // Injecting the fault level here (not inside ScenarioConfig's presets)
+    // keeps library callers fault-free by default; every world the driver
+    // builds — including the fresh ones in xpeer/xablate — goes through
+    // `with_faults`.
+    let with_faults = |mut cfg: ScenarioConfig| {
+        cfg.faults = args.faults.config();
+        cfg
+    };
 
     // --- Shared worlds and studies, built once on first use. ---
     // OnceLock::get_or_init blocks concurrent initializers, so when several
@@ -210,7 +267,7 @@ fn main() {
         fb_cell.get_or_init(|| {
             eprintln!("[repro] building Facebook-like world…");
             timing::time("world:facebook", || {
-                Scenario::build(ScenarioConfig::facebook(args.seed, args.scale))
+                Scenario::build(with_faults(ScenarioConfig::facebook(args.seed, args.scale)))
             })
         })
     };
@@ -219,7 +276,7 @@ fn main() {
         ms_cell.get_or_init(|| {
             eprintln!("[repro] building Microsoft-like world…");
             timing::time("world:microsoft", || {
-                Scenario::build(ScenarioConfig::microsoft(args.seed, args.scale))
+                Scenario::build(with_faults(ScenarioConfig::microsoft(args.seed, args.scale)))
             })
         })
     };
@@ -228,116 +285,131 @@ fn main() {
         gg_cell.get_or_init(|| {
             eprintln!("[repro] building Google-like world…");
             timing::time("world:google", || {
-                Scenario::build(ScenarioConfig::google(args.seed, args.scale))
+                Scenario::build(with_faults(ScenarioConfig::google(args.seed, args.scale)))
             })
         })
     };
 
-    let egress_cell: OnceLock<study_egress::EgressStudy> = OnceLock::new();
-    let egress_study = || {
-        egress_cell.get_or_init(|| {
-            let scenario = facebook();
-            eprintln!("[repro] spraying sessions across egress routes…");
-            timing::time("study:egress", || {
-                study_egress::run(scenario, &spray_cfg(args.scale))
+    // Study cells hold `BbResult`: under heavy faults a shared study can
+    // legitimately fail (e.g. every window of a figure degraded away), and
+    // every experiment that shares it must see the same error.
+    let egress_cell: OnceLock<BbResult<study_egress::EgressStudy>> = OnceLock::new();
+    let egress_study = || -> BbResult<&study_egress::EgressStudy> {
+        egress_cell
+            .get_or_init(|| {
+                let scenario = facebook();
+                eprintln!("[repro] spraying sessions across egress routes…");
+                timing::time("study:egress", || {
+                    study_egress::run(scenario, &spray_cfg(args.scale))
+                })
             })
-        })
+            .as_ref()
+            .map_err(Clone::clone)
     };
-    let anycast_cell: OnceLock<study_anycast::AnycastStudy> = OnceLock::new();
-    let anycast_study = || {
-        anycast_cell.get_or_init(|| {
-            let scenario = microsoft();
-            eprintln!("[repro] running beacon campaign…");
-            timing::time("study:anycast", || {
-                study_anycast::run(scenario, &BeaconConfig::default())
+    let anycast_cell: OnceLock<BbResult<study_anycast::AnycastStudy>> = OnceLock::new();
+    let anycast_study = || -> BbResult<&study_anycast::AnycastStudy> {
+        anycast_cell
+            .get_or_init(|| {
+                let scenario = microsoft();
+                eprintln!("[repro] running beacon campaign…");
+                timing::time("study:anycast", || {
+                    study_anycast::run(scenario, &BeaconConfig::default())
+                })
             })
-        })
+            .as_ref()
+            .map_err(Clone::clone)
     };
-    let tiers_cell: OnceLock<study_tiers::TiersStudy> = OnceLock::new();
-    let tiers_study = || {
-        tiers_cell.get_or_init(|| {
-            let scenario = google();
-            eprintln!("[repro] probing Premium/Standard tiers…");
-            timing::time("study:tiers", || {
-                study_tiers::run(scenario, &ProbeConfig::default())
+    let tiers_cell: OnceLock<BbResult<study_tiers::TiersStudy>> = OnceLock::new();
+    let tiers_study = || -> BbResult<&study_tiers::TiersStudy> {
+        tiers_cell
+            .get_or_init(|| {
+                let scenario = google();
+                eprintln!("[repro] probing Premium/Standard tiers…");
+                timing::time("study:tiers", || {
+                    study_tiers::run(scenario, &ProbeConfig::default())
+                })
             })
-        })
+            .as_ref()
+            .map_err(Clone::clone)
     };
 
     // --- Experiments: (name, closure → stdout chunk), in output order. ---
-    type Exp<'a> = (&'static str, Box<dyn Fn() -> String + Sync + 'a>);
+    type Exp<'a> = (&'static str, Box<dyn Fn() -> BbResult<String> + Sync + 'a>);
     let experiments: Vec<Exp> = vec![
-        ("calib", Box::new(|| format!("{}\n", calibration::run(facebook()).render()))),
+        (
+            "calib",
+            Box::new(|| Ok(format!("{}\n", calibration::run(facebook()).render()))),
+        ),
         (
             "fig1",
             Box::new(|| {
-                let study = egress_study();
+                let study = egress_study()?;
                 if let Some(dir) = &args.csv_dir {
-                    beating_bgp::core::export::fig1_csv(&study.fig1, dir).expect("fig1 csv");
+                    beating_bgp::core::export::fig1_csv(&study.fig1, dir)?;
                 }
-                format!("{}\n", study.fig1.render())
+                Ok(format!("{}\n", study.fig1.render()))
             }),
         ),
         (
             "fig2",
             Box::new(|| {
-                let study = egress_study();
+                let study = egress_study()?;
                 if let Some(dir) = &args.csv_dir {
-                    beating_bgp::core::export::fig2_csv(&study.fig2, dir).expect("fig2 csv");
+                    beating_bgp::core::export::fig2_csv(&study.fig2, dir)?;
                 }
-                format!("{}\n", study.fig2.render())
+                Ok(format!("{}\n", study.fig2.render()))
             }),
         ),
         (
             "s311",
             Box::new(|| {
-                let study = egress_study();
-                format!(
+                let study = egress_study()?;
+                Ok(format!(
                     "{}\nS3.1 bandwidth: alternate improves goodput >=10% for {:.1}% of traffic \
                      (paper: \"qualitatively similar results for bandwidth\")\n\n",
                     study.episodes.render(),
                     study.bandwidth_improvable * 100.0
-                )
+                ))
             }),
         ),
         (
             "fig3",
             Box::new(|| {
-                let study = anycast_study();
+                let study = anycast_study()?;
                 if let Some(dir) = &args.csv_dir {
-                    beating_bgp::core::export::fig3_csv(&study.fig3, dir).expect("fig3 csv");
+                    beating_bgp::core::export::fig3_csv(&study.fig3, dir)?;
                 }
-                format!("{}\n", study.fig3.render())
+                Ok(format!("{}\n", study.fig3.render()))
             }),
         ),
         (
             "fig4",
             Box::new(|| {
-                let study = anycast_study();
+                let study = anycast_study()?;
                 if let Some(dir) = &args.csv_dir {
-                    beating_bgp::core::export::fig4_csv(&study.fig4, dir).expect("fig4 csv");
+                    beating_bgp::core::export::fig4_csv(&study.fig4, dir)?;
                 }
-                format!("{}\n", study.fig4.render())
+                Ok(format!("{}\n", study.fig4.render()))
             }),
         ),
         (
             "fig5",
             Box::new(|| {
-                let study = tiers_study();
+                let study = tiers_study()?;
                 if let Some(dir) = &args.csv_dir {
-                    beating_bgp::core::export::fig5_csv(&study.fig5, dir).expect("fig5 csv");
+                    beating_bgp::core::export::fig5_csv(&study.fig5, dir)?;
                 }
-                format!("{}\n", study.fig5.render())
+                Ok(format!("{}\n", study.fig5.render()))
             }),
         ),
         (
             "goodput",
             Box::new(|| {
-                format!(
+                Ok(format!(
                     "S4 goodput: weighted median 10MB transfer-time difference \
                      (standard - premium): {:+.2} s\n\n",
-                    tiers_study().goodput_diff_s
-                )
+                    tiers_study()?.goodput_diff_s
+                ))
             }),
         ),
         (
@@ -349,7 +421,7 @@ fn main() {
                     writeln!(out, "{}", b.render_row()).unwrap();
                 }
                 out.push('\n');
-                out
+                Ok(out)
             }),
         ),
         (
@@ -357,12 +429,12 @@ fn main() {
             Box::new(|| {
                 let mut out =
                     String::from("X-PEER (§3.1.3): reduced peering footprint sweep\n");
-                let base = ScenarioConfig::facebook(args.seed, args.scale);
+                let base = with_faults(ScenarioConfig::facebook(args.seed, args.scale));
                 for step in peering_reduction::run(&base, &[0.05, 0.12, 0.3, 0.6, 1.1]) {
                     writeln!(out, "{}", step.render_row()).unwrap();
                 }
                 out.push('\n');
-                out
+                Ok(out)
             }),
         ),
         (
@@ -377,7 +449,7 @@ fn main() {
                 let baseline = grooming::groomed_baseline(scenario);
                 writeln!(out, "  fully-groomed baseline: {}", baseline.render_row()).unwrap();
                 out.push('\n');
-                out
+                Ok(out)
             }),
         ),
         (
@@ -389,7 +461,7 @@ fn main() {
                     writeln!(out, "{}", p.render_row()).unwrap();
                 }
                 out.push('\n');
-                out
+                Ok(out)
             }),
         ),
         (
@@ -397,11 +469,11 @@ fn main() {
             Box::new(|| {
                 let mut out =
                     String::from("X-ECS (§3.2.1): Fig 4 vs ISP EDNS-Client-Subnet adoption\n");
-                for p in ecs::run(microsoft(), &BeaconConfig::default(), &[0.0, 0.25, 0.5, 1.0]) {
+                for p in ecs::run(microsoft(), &BeaconConfig::default(), &[0.0, 0.25, 0.5, 1.0])? {
                     writeln!(out, "{}", p.render_row()).unwrap();
                 }
                 out.push('\n');
-                out
+                Ok(out)
             }),
         ),
         (
@@ -412,7 +484,7 @@ fn main() {
                     args.seed ^ 0x_a1a,
                     &availability::RecoveryConfig::default(),
                 );
-                format!("{}\n", r.render())
+                Ok(format!("{}\n", r.render()))
             }),
         ),
         (
@@ -424,7 +496,7 @@ fn main() {
                     writeln!(out, "{}", s.render_row()).unwrap();
                 }
                 out.push('\n');
-                out
+                Ok(out)
             }),
         ),
         (
@@ -432,9 +504,9 @@ fn main() {
             Box::new(|| {
                 // Reuse the egress study's spray dataset (same scenario,
                 // same spray config) instead of re-running the campaign.
-                let study = egress_study();
+                let study = egress_study()?;
                 let r = fabric::evaluate(&study.dataset, &EgressController::default());
-                format!("{}\n", r.render())
+                Ok(format!("{}\n", r.render()))
             }),
         ),
         (
@@ -451,7 +523,7 @@ fn main() {
                     ("correlated (default)", 0.10, 0.35, 0.25),
                     ("independent", 0.0, 0.0, 2.0),
                 ] {
-                    let mut cfg = ScenarioConfig::facebook(args.seed, args.scale);
+                    let mut cfg = with_faults(ScenarioConfig::facebook(args.seed, args.scale));
                     cfg.congestion.metro_events_per_day = metro;
                     cfg.congestion.lastmile_events_per_day = lastmile;
                     cfg.congestion.link_events_per_day = link;
@@ -462,7 +534,7 @@ fn main() {
                         cfg.congestion.event_severity = (0.35, 0.7);
                     }
                     let scenario = Scenario::build(cfg);
-                    let study = study_egress::run(&scenario, &spray_cfg(args.scale));
+                    let study = study_egress::run(&scenario, &spray_cfg(args.scale))?;
                     writeln!(
                         out,
                         "    {label:<22} median-improvable>=5ms {:.1}%  windows-improvable {:.1}%  degrade-together {:.0}%",
@@ -477,7 +549,7 @@ fn main() {
                 // anycast misdirection.
                 out.push_str("  [exit fidelity]\n");
                 for (label, factor) in [("sloppy (default)", 0.72_f64), ("perfect geo", 1.0)] {
-                    let mut cfg = ScenarioConfig::microsoft(args.seed, args.scale);
+                    let mut cfg = with_faults(ScenarioConfig::microsoft(args.seed, args.scale));
                     cfg.exit_fidelity_factor = factor;
                     let scenario = Scenario::build(cfg);
                     let study = study_anycast::run(
@@ -486,7 +558,7 @@ fn main() {
                             rounds: 4,
                             ..Default::default()
                         },
-                    );
+                    )?;
                     writeln!(
                         out,
                         "    {label:<22} anycast within 10ms {:.1}%  tail>=100ms {:.1}%",
@@ -496,7 +568,7 @@ fn main() {
                     .unwrap();
                 }
                 out.push('\n');
-                out
+                Ok(out)
             }),
         ),
         (
@@ -507,7 +579,7 @@ fn main() {
                 for bytes in [30e3, 300e3, 3e6] {
                     writeln!(out, "{}", split_tcp::run(scenario, bytes, None).render()).unwrap();
                 }
-                out
+                Ok(out)
             }),
         ),
     ];
@@ -518,14 +590,45 @@ fn main() {
         std::process::exit(2);
     }
 
-    // Run concurrently, print in order: stdout bytes do not depend on the
-    // worker count or the schedule.
-    let chunks = beating_bgp::exec::par_map(&selected, |_, (name, run)| {
+    // Test hook: BB_REPRO_POISON=<name> makes that experiment panic, so the
+    // isolation + --keep-going path can be exercised end to end.
+    let poison = std::env::var("BB_REPRO_POISON").ok();
+
+    // Run concurrently with panic isolation, print in order: stdout bytes
+    // do not depend on the worker count or the schedule, and one
+    // experiment's panic cannot take down its siblings.
+    let outcomes = beating_bgp::exec::par_map_isolated(&selected, None, |_, (name, run)| {
+        if poison.as_deref() == Some(*name) {
+            panic!("poisoned by BB_REPRO_POISON");
+        }
         timing::time(&format!("exp:{name}"), run)
     });
+
     let mut stdout = String::new();
-    for c in &chunks {
-        stdout.push_str(c);
+    let mut failures: Vec<(&str, String)> = Vec::new();
+    for ((name, _), outcome) in selected.iter().zip(outcomes) {
+        match outcome {
+            Ok(Ok(chunk)) => stdout.push_str(&chunk),
+            Ok(Err(e)) => failures.push((name, e.to_string())),
+            Err(f) => failures.push((name, format!("panicked: {}", f.message))),
+        }
+    }
+
+    // Diagnostics go to stderr so surviving experiments' stdout stays
+    // byte-stable with or without failures elsewhere in the run.
+    for (name, message) in &failures {
+        eprintln!("=== EXPERIMENT FAILED: {name} ===");
+        eprintln!("  {message}");
+        eprintln!("  (seed {}, scale {:?}, faults {:?})", args.seed, args.scale, args.faults);
+        eprintln!("=== END {name} ===");
+    }
+    if !failures.is_empty() && !args.keep_going {
+        eprintln!(
+            "{} of {} experiments failed; rerun with --keep-going to print survivors",
+            failures.len(),
+            selected.len()
+        );
+        std::process::exit(1);
     }
     print!("{stdout}");
 
@@ -543,5 +646,10 @@ fn main() {
             eprintln!("--timing-json: cannot write {}: {e}", path.display());
             std::process::exit(1);
         }
+    }
+    if !failures.is_empty() {
+        // Partial run under --keep-going: survivors printed, but the run
+        // as a whole did not reproduce everything asked of it.
+        std::process::exit(1);
     }
 }

@@ -24,7 +24,7 @@
 //! // Build a small world and run the §3.1 egress study.
 //! let scenario = Scenario::build(ScenarioConfig::facebook(42, Scale::Test));
 //! let cfg = SprayConfig { days: 0.5, window_stride: 8, ..Default::default() };
-//! let study = study_egress::run(&scenario, &cfg);
+//! let study = study_egress::run(&scenario, &cfg).expect("fault-free study succeeds");
 //! println!("{}", study.fig1.render());
 //! assert!(study.fig1.frac_bgp_good > 0.5); // BGP is hard to beat
 //! ```

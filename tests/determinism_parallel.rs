@@ -31,11 +31,11 @@ fn fig1_and_fig3_identical_for_any_job_count() {
         beating_bgp::exec::set_jobs(jobs);
 
         let facebook = Scenario::build(ScenarioConfig::facebook(42, Scale::Test));
-        let egress = study_egress::run(&facebook, &spray);
+        let egress = study_egress::run(&facebook, &spray).unwrap();
         export::fig1_csv(&egress.fig1, &dir).unwrap();
 
         let microsoft = Scenario::build(ScenarioConfig::microsoft(42, Scale::Test));
-        let anycast = study_anycast::run(&microsoft, &BeaconConfig::default());
+        let anycast = study_anycast::run(&microsoft, &BeaconConfig::default()).unwrap();
         export::fig3_csv(&anycast.fig3, &dir).unwrap();
 
         outputs.push((read(&dir, "fig1.csv"), read(&dir, "fig3.csv")));
@@ -72,6 +72,7 @@ fn spray_rows_with_planned_paths_identical_across_job_counts() {
             &scenario.provider,
             &scenario.workload,
             &scenario.congestion,
+            None,
             &cfg,
         );
         assert!(!ds.rows.is_empty(), "spray produced no rows");

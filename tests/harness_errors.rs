@@ -1,0 +1,81 @@
+//! Harness error paths: every usage error exits 2 with a one-line
+//! diagnostic on stderr and prints nothing on stdout.
+
+use std::process::Command;
+
+fn repro(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("spawn repro")
+}
+
+fn assert_usage_error(args: &[&str], expect_in_stderr: &str) {
+    let out = repro(args);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "{args:?} should exit 2, got {:?}",
+        out.status.code()
+    );
+    assert!(out.stdout.is_empty(), "{args:?} printed to stdout");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        stderr.contains(expect_in_stderr),
+        "{args:?} stderr missing {expect_in_stderr:?}:\n{stderr}"
+    );
+    // One-line diagnostic: users should not get a wall of text for a typo.
+    assert_eq!(
+        stderr.trim_end().lines().count(),
+        1,
+        "{args:?} diagnostic is not one line:\n{stderr}"
+    );
+}
+
+#[test]
+fn bad_scale_exits_2() {
+    assert_usage_error(&["fig1", "--scale", "huge"], "unknown scale");
+    assert_usage_error(&["fig1", "--scale"], "unknown scale");
+}
+
+#[test]
+fn bad_seed_exits_2() {
+    assert_usage_error(&["fig1", "--seed", "notanumber"], "--seed needs a number");
+    assert_usage_error(&["fig1", "--seed", "-3"], "--seed needs a number");
+    assert_usage_error(&["fig1", "--seed"], "--seed needs a number");
+}
+
+#[test]
+fn bad_jobs_exits_2() {
+    assert_usage_error(&["fig1", "--jobs", "many"], "--jobs needs a number");
+}
+
+#[test]
+fn bad_faults_level_exits_2() {
+    assert_usage_error(&["fig1", "--faults", "catastrophic"], "unknown fault level");
+    assert_usage_error(&["fig1", "--faults"], "unknown fault level");
+}
+
+#[test]
+fn unwritable_csv_dir_exits_2() {
+    // A path that nests under a regular file can never be created.
+    let blocker = std::env::temp_dir().join(format!("bb_csv_blocker_{}", std::process::id()));
+    std::fs::write(&blocker, b"not a directory").unwrap();
+    let target = blocker.join("sub");
+    let out = repro(&[
+        "fig1",
+        "--scale",
+        "test",
+        "--csv",
+        target.to_str().unwrap(),
+    ]);
+    std::fs::remove_file(&blocker).ok();
+    assert_eq!(out.status.code(), Some(2), "{:?}", out.status.code());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("--csv: cannot create"), "{stderr}");
+}
+
+#[test]
+fn unknown_experiment_exits_2() {
+    assert_usage_error(&["figx"], "unknown experiment 'figx'");
+}

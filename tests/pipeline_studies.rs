@@ -15,7 +15,8 @@ fn study_a_end_to_end() {
             window_stride: 8,
             ..Default::default()
         },
-    );
+    )
+    .unwrap();
     // Headline claim: BGP good for the vast majority, small improvable tail.
     assert!(study.fig1.frac_bgp_good > 0.7);
     assert!(study.fig1.frac_improvable_5ms < 0.25);
@@ -36,7 +37,8 @@ fn study_b_end_to_end() {
             rounds: 6,
             ..Default::default()
         },
-    );
+    )
+    .unwrap();
     // Anycast good for most requests; CCDF decreasing.
     assert!(study.fig3.frac_within_10ms > 0.5);
     assert!(study.fig3.world.fraction_gt(0.0) >= study.fig3.world.fraction_gt(50.0));
@@ -54,7 +56,8 @@ fn study_c_end_to_end() {
             rounds: 4,
             ..Default::default()
         },
-    );
+    )
+    .unwrap();
     assert!(study.fig5.qualifying_vps > 0);
     // The tier distinction must be visible in ingress distances.
     assert!(study.fig5.premium_ingress_within_400km > study.fig5.standard_ingress_within_400km);
@@ -94,7 +97,8 @@ fn whole_pipeline_is_deterministic() {
                 window_stride: 8,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         (
             study.fig1.frac_improvable_5ms,
             study.fig1.frac_bgp_good,
@@ -116,7 +120,8 @@ fn different_seeds_give_different_worlds_same_shape() {
                 window_stride: 8,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         (study.fig1.frac_bgp_good, study.fig1.diff.median())
     };
     let (good_a, med_a) = frac(1);

@@ -37,10 +37,21 @@ fn timing_json_emits_schema_v1() {
         "\"label\": \"samples:spray\"",
         "\"route_cache\": {",
         "\"hit_rate\":",
+        "\"faults\": {",
+        "\"samples_lost\":",
+        "\"retries\":",
+        "\"windows_dropped\":",
+        "\"panics_isolated\":",
         "\"congestion_races_closed\":",
     ] {
         assert!(j.contains(key), "missing {key} in report:\n{j}");
     }
+
+    // A fault-free run reports zero fault activity.
+    assert!(
+        j.contains("\"faults\": {\"samples_lost\": 0, \"retries\": 0, \"windows_dropped\": 0, \"panics_isolated\": 0}"),
+        "fault-free run should report zero fault activity:\n{j}"
+    );
 
     // Balanced brackets and no trailing commas: cheap structural validity
     // checks for the hand-rolled writer.
@@ -48,4 +59,38 @@ fn timing_json_emits_schema_v1() {
     assert_eq!(j.matches('[').count(), j.matches(']').count());
     assert!(!j.contains(",\n}"));
     assert!(!j.contains(",\n  ]"));
+}
+
+#[test]
+fn timing_json_counts_fault_activity_under_light_faults() {
+    let out_path =
+        std::env::temp_dir().join(format!("bb_perf_faults_{}.json", std::process::id()));
+    let status = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args([
+            "fig1",
+            "--scale",
+            "test",
+            "--seed",
+            "42",
+            "--jobs",
+            "1",
+            "--faults",
+            "light",
+            "--timing-json",
+        ])
+        .arg(&out_path)
+        .status()
+        .expect("spawn repro");
+    assert!(status.success(), "repro exited with {status}");
+
+    let j = std::fs::read_to_string(&out_path).expect("report written");
+    std::fs::remove_file(&out_path).ok();
+
+    // Light faults on a full spray campaign must lose *some* samples; the
+    // exact counts are covered by the determinism test in
+    // fault_injection.rs.
+    assert!(
+        !j.contains("\"samples_lost\": 0,"),
+        "light faults lost no samples:\n{j}"
+    );
 }
