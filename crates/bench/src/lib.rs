@@ -61,6 +61,29 @@ pub struct FaultStats {
     pub panics_isolated: u64,
 }
 
+/// Supervision telemetry for the run: how the campaign's retry policy
+/// exercised (all zero for a clean run with no retries).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SupervisionStats {
+    /// Total experiment attempts run (≥ the experiment count when
+    /// anything was retried).
+    pub attempts: u64,
+    /// Attempts beyond each experiment's first.
+    pub retries: u64,
+    /// Panics absorbed across all attempts.
+    pub panics_absorbed: u64,
+    /// Experiments that failed at least once, then succeeded on retry.
+    pub recovered: u64,
+    /// Experiments that exhausted their retries without succeeding.
+    pub failed: u64,
+    /// Experiments never started because the campaign drained early
+    /// (SIGINT/SIGTERM or a unit limit).
+    pub skipped: u64,
+    /// True when a retry was denied because the campaign-wide retry
+    /// budget ran out.
+    pub budget_exhausted: bool,
+}
+
 /// Schema tag embedded in every report so downstream tooling can detect
 /// layout changes.
 pub const PERF_SCHEMA: &str = "bb-perf-report/v1";
@@ -90,6 +113,8 @@ pub struct PerfReport {
     pub route_cache: RouteCacheStats,
     /// Fault-injection telemetry (`--faults light|heavy`, `--keep-going`).
     pub faults: FaultStats,
+    /// Supervised-retry telemetry (attempts, recoveries, drain skips).
+    pub supervision: SupervisionStats,
     /// Congestion-process double-materializations avoided by the
     /// write-lock double-check (nonzero only under `--jobs > 1`).
     pub congestion_races_closed: u64,
@@ -183,6 +208,18 @@ impl PerfReport {
             self.faults.retries,
             self.faults.windows_dropped,
             self.faults.panics_isolated
+        ));
+
+        out.push_str(&format!(
+            "  \"supervision\": {{\"attempts\": {}, \"retries\": {}, \"panics_absorbed\": {}, \
+             \"recovered\": {}, \"failed\": {}, \"skipped\": {}, \"budget_exhausted\": {}}},\n",
+            self.supervision.attempts,
+            self.supervision.retries,
+            self.supervision.panics_absorbed,
+            self.supervision.recovered,
+            self.supervision.failed,
+            self.supervision.skipped,
+            self.supervision.budget_exhausted
         ));
 
         json_kv_raw(
@@ -292,6 +329,15 @@ mod tests {
                 windows_dropped: 1,
                 panics_isolated: 0,
             },
+            supervision: SupervisionStats {
+                attempts: 19,
+                retries: 2,
+                panics_absorbed: 2,
+                recovered: 1,
+                failed: 1,
+                skipped: 0,
+                budget_exhausted: false,
+            },
             congestion_races_closed: 0,
         }
         .finalize()
@@ -329,6 +375,10 @@ mod tests {
             "\"retries\": 3",
             "\"windows_dropped\": 1",
             "\"panics_isolated\": 0",
+            "\"supervision\": {",
+            "\"attempts\": 19",
+            "\"recovered\": 1",
+            "\"budget_exhausted\": false",
             "\"congestion_races_closed\": 0",
         ] {
             assert!(j.contains(key), "missing {key} in:\n{j}");

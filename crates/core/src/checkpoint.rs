@@ -1,0 +1,554 @@
+//! Campaign checkpoint manifests: crash-safe save, validated resume.
+//!
+//! A long campaign (`repro all`) is a sequence of *units* — one per
+//! experiment — each producing a stdout block and optionally rendered CSV
+//! files. After every completed unit the harness serializes all completed
+//! results into a `checkpoint.bbck` manifest in the checkpoint directory,
+//! written with the same atomic temp-file+rename writer as the CSV exports
+//! ([`crate::export::write_atomic_bytes`]), so a crash mid-flush never
+//! leaves a torn manifest.
+//!
+//! **Keying rule.** A manifest is only valid for the exact campaign that
+//! wrote it. The [`CampaignKey`] captures everything that feeds unit
+//! output: seed, scale, fault profile, the selected experiment set, whether
+//! CSV was captured, and [`CODE_SCHEMA`] — a version bumped whenever *any*
+//! experiment's output format changes, so results cached by an older build
+//! are never replayed by a newer one. A mismatch on any field makes
+//! [`Checkpoint::validate`] fail with the field spelled out; a stale
+//! checkpoint is rejected, never silently reused. Worker count (`--jobs`)
+//! is deliberately *not* in the key: output is byte-identical across job
+//! counts, so resuming with a different `--jobs` is sound.
+//!
+//! (The ISSUE sketch keyed on "topology uid", but `Topology::uid` is a
+//! process-local counter, not a content hash — useless across processes.
+//! The topology is a pure function of `(scale, seed)`, which the key
+//! already pins; see DESIGN.md §5b.)
+//!
+//! **Format.** `bbck/v1` is a line-oriented header with length-prefixed raw
+//! blobs, so stdout and CSV bytes round-trip exactly (no escaping, no
+//! encoding). Every blob carries an FNV-1a 64 checksum verified on load:
+//!
+//! ```text
+//! bbck/v1
+//! seed 42
+//! scale full
+//! faults off
+//! experiments calib,fig1,...
+//! csv 1
+//! code_schema 3
+//! windows_done 1234
+//! unit fig1 1 812 c0ffee...        ← name, file count, stdout len, fnv64
+//! <812 raw stdout bytes>\n
+//! file fig1.csv 4096 deadbeef...   ← name, len, fnv64
+//! <4096 raw bytes>\n
+//! end
+//! ```
+
+use crate::error::{BbError, BbResult};
+use crate::export::write_atomic_bytes;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Manifest file name inside a checkpoint directory.
+pub const MANIFEST_NAME: &str = "checkpoint.bbck";
+
+/// On-disk format version (parser compatibility).
+pub const FORMAT: &str = "bbck/v1";
+
+/// Output-schema version of the *code*. Bump whenever any experiment's
+/// stdout or CSV format changes, so checkpoints written by older builds are
+/// rejected instead of replaying stale bytes.
+pub const CODE_SCHEMA: u32 = 1;
+
+/// FNV-1a 64-bit hash — the checksum guarding every blob in the manifest.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Identity of one campaign: a checkpoint is valid only for an exact match.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignKey {
+    pub seed: u64,
+    /// Scale label (`test`/`full`/`large`).
+    pub scale: String,
+    /// Fault profile label (`off`/`light`/`heavy`).
+    pub faults: String,
+    /// Comma-joined names of the selected experiments, in run order.
+    pub experiments: String,
+    /// Whether unit results carry rendered CSV bytes.
+    pub csv: bool,
+    /// [`CODE_SCHEMA`] of the build that wrote the manifest.
+    pub code_schema: u32,
+}
+
+impl CampaignKey {
+    pub fn new(
+        seed: u64,
+        scale: impl Into<String>,
+        faults: impl Into<String>,
+        experiments: impl Into<String>,
+        csv: bool,
+    ) -> Self {
+        Self {
+            seed,
+            scale: scale.into(),
+            faults: faults.into(),
+            experiments: experiments.into(),
+            csv,
+            code_schema: CODE_SCHEMA,
+        }
+    }
+}
+
+/// Result of one completed unit: its stdout block and any files it rendered
+/// (name → raw bytes), exactly as a fresh run would produce them.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct UnitResult {
+    pub stdout: String,
+    pub files: Vec<(String, Vec<u8>)>,
+}
+
+/// A campaign checkpoint: the key plus every completed unit so far.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    pub key: CampaignKey,
+    /// Completed units by experiment name. `BTreeMap` so the manifest is
+    /// byte-identical regardless of completion order.
+    pub units: BTreeMap<String, UnitResult>,
+    /// Measurement windows completed across the campaign (progress
+    /// telemetry from the window-granular hooks, not part of the key).
+    pub windows_done: u64,
+}
+
+impl Checkpoint {
+    pub fn new(key: CampaignKey) -> Self {
+        Self {
+            key,
+            units: BTreeMap::new(),
+            windows_done: 0,
+        }
+    }
+
+    /// Record a completed unit (overwrites a same-name entry).
+    pub fn record(&mut self, name: impl Into<String>, unit: UnitResult) {
+        self.units.insert(name.into(), unit);
+    }
+
+    /// The cached result for `name`, if that unit completed.
+    pub fn get(&self, name: &str) -> Option<&UnitResult> {
+        self.units.get(name)
+    }
+
+    /// Reject the manifest unless its key matches `expect` exactly, naming
+    /// the first mismatching field.
+    pub fn validate(&self, expect: &CampaignKey) -> BbResult<()> {
+        let k = &self.key;
+        let mismatch = |field: &str, have: &str, want: &str| {
+            Err(BbError::checkpoint(format!(
+                "{field} mismatch: checkpoint has {have}, this run wants {want} \
+                 (refusing to reuse a stale checkpoint)"
+            )))
+        };
+        if k.code_schema != expect.code_schema {
+            return mismatch(
+                "code_schema",
+                &k.code_schema.to_string(),
+                &expect.code_schema.to_string(),
+            );
+        }
+        if k.seed != expect.seed {
+            return mismatch("seed", &k.seed.to_string(), &expect.seed.to_string());
+        }
+        if k.scale != expect.scale {
+            return mismatch("scale", &k.scale, &expect.scale);
+        }
+        if k.faults != expect.faults {
+            return mismatch("faults", &k.faults, &expect.faults);
+        }
+        if k.experiments != expect.experiments {
+            return mismatch("experiments", &k.experiments, &expect.experiments);
+        }
+        if k.csv != expect.csv {
+            return mismatch("csv", bool_str(k.csv), bool_str(expect.csv));
+        }
+        Ok(())
+    }
+
+    /// Serialize to `bbck/v1` bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let k = &self.key;
+        let mut head = String::new();
+        let _ = writeln!(head, "{FORMAT}");
+        let _ = writeln!(head, "seed {}", k.seed);
+        let _ = writeln!(head, "scale {}", k.scale);
+        let _ = writeln!(head, "faults {}", k.faults);
+        let _ = writeln!(head, "experiments {}", k.experiments);
+        let _ = writeln!(head, "csv {}", bool_str(k.csv));
+        let _ = writeln!(head, "code_schema {}", k.code_schema);
+        let _ = writeln!(head, "windows_done {}", self.windows_done);
+        let mut out = head.into_bytes();
+        for (name, unit) in &self.units {
+            let stdout = unit.stdout.as_bytes();
+            let _ = writeln!(
+                str_sink(&mut out),
+                "unit {name} {} {} {:016x}",
+                unit.files.len(),
+                stdout.len(),
+                fnv1a(stdout)
+            );
+            out.extend_from_slice(stdout);
+            out.push(b'\n');
+            for (fname, bytes) in &unit.files {
+                let _ = writeln!(
+                    str_sink(&mut out),
+                    "file {fname} {} {:016x}",
+                    bytes.len(),
+                    fnv1a(bytes)
+                );
+                out.extend_from_slice(bytes);
+                out.push(b'\n');
+            }
+        }
+        out.extend_from_slice(b"end\n");
+        out
+    }
+
+    /// Atomically write the manifest into `dir`.
+    pub fn save(&self, dir: &Path) -> BbResult<()> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| BbError::io(format!("create checkpoint dir {}", dir.display()), e))?;
+        write_atomic_bytes(&dir.join(MANIFEST_NAME), &self.encode())
+    }
+
+    /// Load and parse the manifest from `dir`. Parse/checksum failures are
+    /// [`BbError::Checkpoint`]; a missing file is [`BbError::Io`].
+    pub fn load(dir: &Path) -> BbResult<Checkpoint> {
+        let path = dir.join(MANIFEST_NAME);
+        let bytes = std::fs::read(&path)
+            .map_err(|e| BbError::io(format!("read {}", path.display()), e))?;
+        Self::decode(&bytes)
+    }
+
+    /// Parse `bbck/v1` bytes.
+    pub fn decode(bytes: &[u8]) -> BbResult<Checkpoint> {
+        let mut p = Parser { bytes, pos: 0 };
+        let version = p.line()?;
+        if version != FORMAT {
+            return Err(BbError::checkpoint(format!(
+                "unsupported format {version:?}, this build reads {FORMAT}"
+            )));
+        }
+        let seed: u64 = p.field("seed")?;
+        let scale = p.field_str("scale")?;
+        let faults = p.field_str("faults")?;
+        let experiments = p.field_str("experiments")?;
+        let csv = match p.field_str("csv")?.as_str() {
+            "1" => true,
+            "0" => false,
+            other => {
+                return Err(BbError::checkpoint(format!("bad csv flag {other:?}")));
+            }
+        };
+        let code_schema: u32 = p.field("code_schema")?;
+        let windows_done: u64 = p.field("windows_done")?;
+
+        let mut units = BTreeMap::new();
+        loop {
+            let line = p.line()?;
+            if line == "end" {
+                break;
+            }
+            let mut tok = line.split(' ');
+            if tok.next() != Some("unit") {
+                return Err(BbError::checkpoint(format!(
+                    "expected `unit` or `end`, got {line:?}"
+                )));
+            }
+            let name = tok
+                .next()
+                .ok_or_else(|| BbError::checkpoint("unit line missing name"))?
+                .to_string();
+            let n_files: usize = parse_tok(tok.next(), "unit file count")?;
+            let stdout_len: usize = parse_tok(tok.next(), "unit stdout length")?;
+            let sum: u64 = parse_hex(tok.next(), "unit stdout checksum")?;
+            let stdout_bytes = p.blob(stdout_len, &name)?;
+            if fnv1a(stdout_bytes) != sum {
+                return Err(BbError::checkpoint(format!(
+                    "checksum mismatch in stdout of unit {name}"
+                )));
+            }
+            let stdout = String::from_utf8(stdout_bytes.to_vec()).map_err(|_| {
+                BbError::checkpoint(format!("unit {name} stdout is not UTF-8"))
+            })?;
+            let mut files = Vec::with_capacity(n_files);
+            for _ in 0..n_files {
+                let fline = p.line()?;
+                let mut ftok = fline.split(' ');
+                if ftok.next() != Some("file") {
+                    return Err(BbError::checkpoint(format!(
+                        "expected `file` in unit {name}, got {fline:?}"
+                    )));
+                }
+                let fname = ftok
+                    .next()
+                    .ok_or_else(|| BbError::checkpoint("file line missing name"))?
+                    .to_string();
+                let len: usize = parse_tok(ftok.next(), "file length")?;
+                let fsum: u64 = parse_hex(ftok.next(), "file checksum")?;
+                let blob = p.blob(len, &fname)?;
+                if fnv1a(blob) != fsum {
+                    return Err(BbError::checkpoint(format!(
+                        "checksum mismatch in file {fname} of unit {name}"
+                    )));
+                }
+                files.push((fname, blob.to_vec()));
+            }
+            units.insert(
+                name,
+                UnitResult {
+                    stdout,
+                    files,
+                },
+            );
+        }
+
+        Ok(Checkpoint {
+            key: CampaignKey {
+                seed,
+                scale,
+                faults,
+                experiments,
+                csv,
+                code_schema,
+            },
+            units,
+            windows_done,
+        })
+    }
+}
+
+fn bool_str(b: bool) -> &'static str {
+    if b {
+        "1"
+    } else {
+        "0"
+    }
+}
+
+/// `std::fmt::Write` adapter over a byte buffer (header lines are ASCII).
+fn str_sink(buf: &mut Vec<u8>) -> StrSink<'_> {
+    StrSink(buf)
+}
+
+struct StrSink<'a>(&'a mut Vec<u8>);
+
+impl std::fmt::Write for StrSink<'_> {
+    fn write_str(&mut self, s: &str) -> std::fmt::Result {
+        self.0.extend_from_slice(s.as_bytes());
+        Ok(())
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    /// Next `\n`-terminated header line as UTF-8 (without the newline).
+    fn line(&mut self) -> BbResult<String> {
+        let rest = &self.bytes[self.pos..];
+        let nl = rest
+            .iter()
+            .position(|&b| b == b'\n')
+            .ok_or_else(|| BbError::checkpoint("truncated manifest (missing newline)"))?;
+        let line = &rest[..nl];
+        self.pos += nl + 1;
+        String::from_utf8(line.to_vec())
+            .map_err(|_| BbError::checkpoint("non-UTF-8 header line"))
+    }
+
+    /// Header line `"{name} {value}"`, value parsed.
+    fn field<T: std::str::FromStr>(&mut self, name: &str) -> BbResult<T> {
+        self.field_str(name)?
+            .parse()
+            .map_err(|_| BbError::checkpoint(format!("bad {name} value")))
+    }
+
+    /// Header line `"{name} {value}"`, value as string.
+    fn field_str(&mut self, name: &str) -> BbResult<String> {
+        let line = self.line()?;
+        let (key, value) = line
+            .split_once(' ')
+            .ok_or_else(|| BbError::checkpoint(format!("malformed {name} line {line:?}")))?;
+        if key != name {
+            return Err(BbError::checkpoint(format!(
+                "expected {name} line, got {line:?}"
+            )));
+        }
+        Ok(value.to_string())
+    }
+
+    /// `len` raw bytes followed by a `\n` separator.
+    fn blob(&mut self, len: usize, what: &str) -> BbResult<&'a [u8]> {
+        if self.pos + len + 1 > self.bytes.len() {
+            return Err(BbError::checkpoint(format!(
+                "truncated manifest inside blob for {what}"
+            )));
+        }
+        let blob = &self.bytes[self.pos..self.pos + len];
+        if self.bytes[self.pos + len] != b'\n' {
+            return Err(BbError::checkpoint(format!(
+                "blob for {what} not newline-terminated (bad length?)"
+            )));
+        }
+        self.pos += len + 1;
+        Ok(blob)
+    }
+}
+
+fn parse_tok<T: std::str::FromStr>(tok: Option<&str>, what: &str) -> BbResult<T> {
+    tok.and_then(|t| t.parse().ok())
+        .ok_or_else(|| BbError::checkpoint(format!("bad {what}")))
+}
+
+fn parse_hex(tok: Option<&str>, what: &str) -> BbResult<u64> {
+    tok.and_then(|t| u64::from_str_radix(t, 16).ok())
+        .ok_or_else(|| BbError::checkpoint(format!("bad {what}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key() -> CampaignKey {
+        CampaignKey::new(42, "full", "off", "calib,fig1,fig2", true)
+    }
+
+    fn sample() -> Checkpoint {
+        let mut ck = Checkpoint::new(key());
+        ck.windows_done = 1234;
+        ck.record(
+            "fig1",
+            UnitResult {
+                stdout: "Figure 1\nline two\n".to_string(),
+                files: vec![
+                    ("fig1.csv".to_string(), b"series,x,y\npoint,1,0.5\n".to_vec()),
+                    // Binary-ish payload: newlines, NULs, non-UTF-8.
+                    ("blob.bin".to_string(), vec![0, 10, 255, 10, 10, 0]),
+                ],
+            },
+        );
+        ck.record(
+            "calib",
+            UnitResult {
+                stdout: String::new(),
+                files: vec![],
+            },
+        );
+        ck
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let ck = sample();
+        let decoded = Checkpoint::decode(&ck.encode()).unwrap();
+        assert_eq!(decoded.key, ck.key);
+        assert_eq!(decoded.windows_done, 1234);
+        assert_eq!(decoded.units, ck.units);
+    }
+
+    #[test]
+    fn encoding_is_deterministic_regardless_of_insertion_order() {
+        let a = sample();
+        let mut b = Checkpoint::new(key());
+        b.windows_done = 1234;
+        // Insert in the opposite order.
+        for name in ["calib", "fig1"] {
+            b.record(name, a.units[name].clone());
+        }
+        assert_eq!(a.encode(), b.encode());
+    }
+
+    #[test]
+    fn save_load_via_atomic_writer() {
+        let dir = std::env::temp_dir().join(format!("bb_ckpt_test_{}", std::process::id()));
+        let ck = sample();
+        ck.save(&dir).unwrap();
+        assert!(!dir.join(format!("{MANIFEST_NAME}.tmp")).exists());
+        let loaded = Checkpoint::load(&dir).unwrap();
+        assert_eq!(loaded.units, ck.units);
+        loaded.validate(&key()).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn validate_names_the_mismatching_field() {
+        let ck = sample();
+        let mut want = key();
+        want.seed = 7;
+        let err = ck.validate(&want).unwrap_err().to_string();
+        assert!(err.contains("seed mismatch"), "{err}");
+        assert!(err.contains("42") && err.contains('7'), "{err}");
+
+        let mut want = key();
+        want.scale = "test".into();
+        let err = ck.validate(&want).unwrap_err().to_string();
+        assert!(err.contains("scale mismatch"), "{err}");
+
+        let mut want = key();
+        want.code_schema += 1;
+        let err = ck.validate(&want).unwrap_err().to_string();
+        assert!(err.contains("code_schema mismatch"), "{err}");
+
+        let mut want = key();
+        want.faults = "heavy".into();
+        assert!(ck.validate(&want).is_err());
+
+        ck.validate(&key()).unwrap();
+    }
+
+    #[test]
+    fn corrupted_blob_is_rejected_by_checksum() {
+        let ck = sample();
+        let mut bytes = ck.encode();
+        // Flip a byte inside the fig1.csv payload.
+        let needle = b"point,1,0.5";
+        let at = bytes
+            .windows(needle.len())
+            .position(|w| w == needle)
+            .unwrap();
+        bytes[at] ^= 0x20;
+        let err = Checkpoint::decode(&bytes).unwrap_err().to_string();
+        assert!(err.contains("checksum mismatch"), "{err}");
+    }
+
+    #[test]
+    fn truncated_manifest_is_rejected() {
+        let bytes = sample().encode();
+        for cut in [bytes.len() - 5, bytes.len() / 2, 3] {
+            assert!(
+                Checkpoint::decode(&bytes[..cut]).is_err(),
+                "cut at {cut} must not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_format_version_is_rejected() {
+        let err = Checkpoint::decode(b"bbck/v99\n").unwrap_err().to_string();
+        assert!(err.contains("unsupported format"), "{err}");
+    }
+
+    #[test]
+    fn missing_manifest_is_io_not_checkpoint() {
+        let err = Checkpoint::load(Path::new("/nonexistent_bb_ckpt")).unwrap_err();
+        assert!(matches!(err, BbError::Io { .. }), "{err:?}");
+    }
+}

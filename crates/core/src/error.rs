@@ -28,6 +28,13 @@ pub enum BbError {
         /// Minimum the analysis needs.
         needed: usize,
     },
+    /// A checkpoint manifest could not be used: stale key, corrupt blob,
+    /// unsupported format version. Stale checkpoints are *rejected*, never
+    /// silently reused, so the reason spells out which field mismatched.
+    Checkpoint {
+        /// Why the manifest was rejected.
+        reason: String,
+    },
 }
 
 impl BbError {
@@ -46,6 +53,12 @@ impl BbError {
             needed,
         }
     }
+
+    pub fn checkpoint(reason: impl Into<String>) -> Self {
+        BbError::Checkpoint {
+            reason: reason.into(),
+        }
+    }
 }
 
 impl std::fmt::Display for BbError {
@@ -56,6 +69,7 @@ impl std::fmt::Display for BbError {
                 f,
                 "insufficient data for {what}: {kept} usable inputs, need at least {needed}"
             ),
+            BbError::Checkpoint { reason } => write!(f, "checkpoint rejected: {reason}"),
         }
     }
 }

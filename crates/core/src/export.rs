@@ -11,7 +11,7 @@
 //! file being written as context.
 
 use crate::error::{BbError, BbResult};
-use crate::figures::{Fig1, Fig2, Fig3, Fig4, Fig5};
+use crate::figures::{Coverage, Fig1, Fig2, Fig3, Fig4, Fig5};
 use std::io::Write;
 use std::path::Path;
 
@@ -24,21 +24,21 @@ pub fn csv_field(s: &str) -> String {
     }
 }
 
-/// Write `body` into `path` via a temp file + atomic rename.
+/// Write pre-rendered `bytes` into `path` via a temp file + atomic rename.
 ///
 /// The temp file lives in the same directory as `path` (renames across
 /// filesystems are not atomic), named after the target with a `.tmp`
-/// suffix so concurrent exports to different figures never collide.
-fn write_atomic(path: &Path, body: impl FnOnce(&mut Vec<u8>) -> std::io::Result<()>) -> BbResult<()> {
+/// suffix so concurrent exports to different files never collide. Shared
+/// by the CSV exporters, the checkpoint manifest writer, and the harness's
+/// replay path — everything that must never leave a torn file behind.
+pub fn write_atomic_bytes(path: &Path, bytes: &[u8]) -> BbResult<()> {
     let label = path.display().to_string();
-    let mut buf = Vec::new();
-    body(&mut buf).map_err(|e| BbError::io(format!("render {label}"), e))?;
     let mut tmp = path.as_os_str().to_owned();
     tmp.push(".tmp");
     let tmp = std::path::PathBuf::from(tmp);
     let mut f = std::fs::File::create(&tmp)
         .map_err(|e| BbError::io(format!("create {}", tmp.display()), e))?;
-    f.write_all(&buf)
+    f.write_all(bytes)
         .map_err(|e| BbError::io(format!("write {}", tmp.display()), e))?;
     f.sync_all()
         .map_err(|e| BbError::io(format!("sync {}", tmp.display()), e))?;
@@ -48,23 +48,39 @@ fn write_atomic(path: &Path, body: impl FnOnce(&mut Vec<u8>) -> std::io::Result<
     Ok(())
 }
 
-/// Write rows of (x, y) series points with a header.
-fn write_series(path: &Path, header: &str, series: &[(&str, Vec<(f64, f64)>)]) -> BbResult<()> {
-    write_atomic(path, |f| {
-        writeln!(f, "{header}")?;
-        for (label, pts) in series {
-            for &(x, y) in pts {
-                writeln!(f, "{},{x},{y}", csv_field(label))?;
-            }
-        }
-        Ok(())
-    })
+/// Coverage disclosure as a leading `#` comment line, so CSV consumers can
+/// tell a degraded run from a full one without reading the rendered figure.
+/// Full-coverage exports stay byte-identical to before the fault plane.
+fn coverage_comment(f: &mut Vec<u8>, coverage: &Coverage) {
+    if coverage.is_partial() {
+        let _ = writeln!(
+            f,
+            "# partial data: {}/{} inputs kept ({:.1}% coverage)",
+            coverage.kept,
+            coverage.total,
+            100.0 * coverage.fraction()
+        );
+    }
 }
 
-/// Export Figure 1 (point estimate + CI bound CDFs).
-pub fn fig1_csv(fig: &Fig1, dir: &Path) -> BbResult<()> {
-    write_series(
-        &dir.join("fig1.csv"),
+/// Render rows of (x, y) series points with a header. Writing into a `Vec`
+/// is infallible, so this returns the bytes directly.
+fn render_series(coverage: &Coverage, header: &str, series: &[(&str, Vec<(f64, f64)>)]) -> Vec<u8> {
+    let mut f = Vec::new();
+    coverage_comment(&mut f, coverage);
+    let _ = writeln!(f, "{header}");
+    for (label, pts) in series {
+        for &(x, y) in pts {
+            let _ = writeln!(f, "{},{x},{y}", csv_field(label));
+        }
+    }
+    f
+}
+
+/// Render Figure 1 (point estimate + CI bound CDFs) as CSV bytes.
+pub fn fig1_csv_bytes(fig: &Fig1) -> Vec<u8> {
+    render_series(
+        &fig.coverage,
         "series,diff_ms,cum_fraction_of_traffic",
         &[
             ("point", fig.diff.points().collect()),
@@ -74,8 +90,13 @@ pub fn fig1_csv(fig: &Fig1, dir: &Path) -> BbResult<()> {
     )
 }
 
-/// Export Figure 2.
-pub fn fig2_csv(fig: &Fig2, dir: &Path) -> BbResult<()> {
+/// Export Figure 1.
+pub fn fig1_csv(fig: &Fig1, dir: &Path) -> BbResult<()> {
+    write_atomic_bytes(&dir.join("fig1.csv"), &fig1_csv_bytes(fig))
+}
+
+/// Render Figure 2 as CSV bytes.
+pub fn fig2_csv_bytes(fig: &Fig2) -> Vec<u8> {
     let mut series: Vec<(&str, Vec<(f64, f64)>)> = Vec::new();
     if let Some(c) = &fig.peer_vs_transit {
         series.push(("peer_vs_transit", c.points().collect()));
@@ -83,15 +104,20 @@ pub fn fig2_csv(fig: &Fig2, dir: &Path) -> BbResult<()> {
     if let Some(c) = &fig.private_vs_public {
         series.push(("private_vs_public", c.points().collect()));
     }
-    write_series(
-        &dir.join("fig2.csv"),
+    render_series(
+        &fig.coverage,
         "series,diff_ms,cum_fraction_of_traffic",
         &series,
     )
 }
 
-/// Export Figure 3 (CCDFs).
-pub fn fig3_csv(fig: &Fig3, dir: &Path) -> BbResult<()> {
+/// Export Figure 2.
+pub fn fig2_csv(fig: &Fig2, dir: &Path) -> BbResult<()> {
+    write_atomic_bytes(&dir.join("fig2.csv"), &fig2_csv_bytes(fig))
+}
+
+/// Render Figure 3 (CCDFs) as CSV bytes.
+pub fn fig3_csv_bytes(fig: &Fig3) -> Vec<u8> {
     let mut series: Vec<(&str, Vec<(f64, f64)>)> =
         vec![("world", fig.world.points().collect())];
     if let Some(c) = &fig.europe {
@@ -100,17 +126,22 @@ pub fn fig3_csv(fig: &Fig3, dir: &Path) -> BbResult<()> {
     if let Some(c) = &fig.united_states {
         series.push(("united_states", c.points().collect()));
     }
-    write_series(
-        &dir.join("fig3.csv"),
+    render_series(
+        &fig.coverage,
         "series,penalty_ms,ccdf_fraction_of_requests",
         &series,
     )
 }
 
-/// Export Figure 4.
-pub fn fig4_csv(fig: &Fig4, dir: &Path) -> BbResult<()> {
-    write_series(
-        &dir.join("fig4.csv"),
+/// Export Figure 3.
+pub fn fig3_csv(fig: &Fig3, dir: &Path) -> BbResult<()> {
+    write_atomic_bytes(&dir.join("fig3.csv"), &fig3_csv_bytes(fig))
+}
+
+/// Render Figure 4 as CSV bytes.
+pub fn fig4_csv_bytes(fig: &Fig4) -> Vec<u8> {
+    render_series(
+        &fig.coverage,
         "series,improvement_ms,cum_fraction_of_weighted_prefixes",
         &[
             ("median", fig.median_improvement.points().collect()),
@@ -119,27 +150,37 @@ pub fn fig4_csv(fig: &Fig4, dir: &Path) -> BbResult<()> {
     )
 }
 
-/// Export Figure 5 (per-country table).
-pub fn fig5_csv(fig: &Fig5, dir: &Path) -> BbResult<()> {
-    write_atomic(&dir.join("fig5.csv"), |f| {
-        writeln!(
+/// Export Figure 4.
+pub fn fig4_csv(fig: &Fig4, dir: &Path) -> BbResult<()> {
+    write_atomic_bytes(&dir.join("fig4.csv"), &fig4_csv_bytes(fig))
+}
+
+/// Render Figure 5 (per-country table) as CSV bytes.
+pub fn fig5_csv_bytes(fig: &Fig5) -> Vec<u8> {
+    let mut f = Vec::new();
+    coverage_comment(&mut f, &fig.coverage);
+    let _ = writeln!(
+        f,
+        "country_code,country,region,median_diff_ms,vantage_points,users_m"
+    );
+    for r in &fig.rows {
+        let _ = writeln!(
             f,
-            "country_code,country,region,median_diff_ms,vantage_points,users_m"
-        )?;
-        for r in &fig.rows {
-            writeln!(
-                f,
-                "{},{},{},{},{},{}",
-                r.code,
-                csv_field(r.name),
-                csv_field(r.region.name()),
-                r.median_diff_ms,
-                r.vantage_points,
-                r.users_m
-            )?;
-        }
-        Ok(())
-    })
+            "{},{},{},{},{},{}",
+            r.code,
+            csv_field(r.name),
+            csv_field(r.region.name()),
+            r.median_diff_ms,
+            r.vantage_points,
+            r.users_m
+        );
+    }
+    f
+}
+
+/// Export Figure 5.
+pub fn fig5_csv(fig: &Fig5, dir: &Path) -> BbResult<()> {
+    write_atomic_bytes(&dir.join("fig5.csv"), &fig5_csv_bytes(fig))
 }
 
 #[cfg(test)]
@@ -223,6 +264,28 @@ mod tests {
         fig5_csv(&fig, &dir).unwrap();
         let content = std::fs::read_to_string(dir.join("fig5.csv")).unwrap();
         assert!(content.contains("IN,India,South Asia,-51.8,12,600"));
+    }
+
+    #[test]
+    fn partial_coverage_is_disclosed_as_comment_line() {
+        let cdf = Cdf::from_values(&[1.0, 2.0, 3.0]).unwrap();
+        let fig = Fig1 {
+            diff: cdf.clone(),
+            ci_lower: cdf.clone(),
+            ci_upper: cdf,
+            frac_improvable_5ms: 0.02,
+            frac_bgp_good: 0.95,
+            groups: 3,
+            coverage: Coverage::new(37, 48),
+        };
+        let bytes = fig1_csv_bytes(&fig);
+        let content = String::from_utf8(bytes).unwrap();
+        assert!(
+            content.starts_with("# partial data: 37/48 inputs kept (77.1% coverage)\n"),
+            "{content}"
+        );
+        // The header is still the first non-comment line.
+        assert_eq!(content.lines().nth(1).unwrap(), "series,diff_ms,cum_fraction_of_traffic");
     }
 
     #[test]

@@ -24,6 +24,7 @@
 //! and their ASCII rendering; [`export`] writes figure data as CSV.
 
 pub mod calibration;
+pub mod checkpoint;
 pub mod error;
 pub mod export;
 pub mod ext;

@@ -23,6 +23,8 @@
 
 use bb_bgp::{compute_routes, Announcement, Offer, RoutingTable};
 use bb_topology::{InterconnectId, Topology};
+
+pub mod supervisor;
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -143,11 +145,24 @@ pub struct ItemFailure {
     pub index: usize,
     /// Panic payload (if it was a `&str`/`String`), or the deadline report.
     pub message: String,
+    /// Wall-clock the failing attempt ran before dying — every failure
+    /// variant carries it, so supervision reports and
+    /// `=== EXPERIMENT FAILED ===` blocks can say which unit died and how
+    /// long it lived.
+    pub elapsed: std::time::Duration,
+    /// Whether the failure was an absorbed panic (vs a deadline overrun).
+    pub panicked: bool,
 }
 
 impl std::fmt::Display for ItemFailure {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "item {}: {}", self.index, self.message)
+        write!(
+            f,
+            "item {} (after {:.3}s): {}",
+            self.index,
+            self.elapsed.as_secs_f64(),
+            self.message
+        )
     }
 }
 
@@ -191,38 +206,54 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
-    par_map(items, |i, item| {
-        let start = Instant::now();
-        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i, item)));
-        match out {
-            Ok(r) => {
-                if let Some(limit) = deadline {
-                    let elapsed = start.elapsed();
-                    if elapsed > limit {
-                        DEADLINES_EXCEEDED.fetch_add(1, Ordering::Relaxed);
-                        return Err(ItemFailure {
-                            index: i,
-                            message: format!(
-                                "deadline exceeded: {:.3}s > {:.3}s",
-                                elapsed.as_secs_f64(),
-                                limit.as_secs_f64()
-                            ),
-                        });
-                    }
+    par_map(items, |i, item| run_attempt(i, deadline, || f(i, item)))
+}
+
+/// Run one attempt of item `i` under `catch_unwind` plus the advisory
+/// deadline check. Shared by [`par_map_isolated`] and the
+/// [`supervisor`] retry loop so both report failures identically.
+pub(crate) fn run_attempt<R>(
+    i: usize,
+    deadline: Option<std::time::Duration>,
+    f: impl FnOnce() -> R,
+) -> Result<R, ItemFailure> {
+    let start = Instant::now();
+    let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+    let elapsed = start.elapsed();
+    match out {
+        Ok(r) => {
+            if let Some(limit) = deadline {
+                if elapsed > limit {
+                    DEADLINES_EXCEEDED.fetch_add(1, Ordering::Relaxed);
+                    return Err(ItemFailure {
+                        index: i,
+                        message: format!(
+                            "deadline exceeded: {:.3}s > {:.3}s",
+                            elapsed.as_secs_f64(),
+                            limit.as_secs_f64()
+                        ),
+                        elapsed,
+                        panicked: false,
+                    });
                 }
-                Ok(r)
             }
-            Err(payload) => {
-                PANICS_ISOLATED.fetch_add(1, Ordering::Relaxed);
-                let message = payload
-                    .downcast_ref::<String>()
-                    .cloned()
-                    .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
-                    .unwrap_or_else(|| "panic with non-string payload".to_string());
-                Err(ItemFailure { index: i, message })
-            }
+            Ok(r)
         }
-    })
+        Err(payload) => {
+            PANICS_ISOLATED.fetch_add(1, Ordering::Relaxed);
+            let message = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "panic with non-string payload".to_string());
+            Err(ItemFailure {
+                index: i,
+                message,
+                elapsed,
+                panicked: true,
+            })
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -496,7 +527,16 @@ mod tests {
                 }
                 derive_seed(x, i as u64)
             });
-            runs.push(format!("{out:?}"));
+            // Render without `elapsed` — wall-clock is measurement, not
+            // payload, and legitimately varies run to run.
+            let rendered: Vec<String> = out
+                .iter()
+                .map(|r| match r {
+                    Ok(v) => format!("ok:{v}"),
+                    Err(e) => format!("err:{}:{}:{}", e.index, e.panicked, e.message),
+                })
+                .collect();
+            runs.push(rendered.join(","));
         }
         std::panic::set_hook(prev);
         set_jobs(0);

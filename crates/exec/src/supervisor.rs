@@ -1,0 +1,569 @@
+//! Supervised execution: retries, deterministic backoff, graceful drain.
+//!
+//! [`par_map_isolated`](crate::par_map_isolated) turns a poisoned item into
+//! an `Err` slot; this module promotes that to a real supervision policy.
+//! [`supervise`] runs items on the same work-claiming engine, but
+//!
+//! * **failed items are re-run** — panics, advisory-deadline overruns —
+//!   with bounded per-item retries and a campaign-wide retry budget;
+//! * **backoff is deterministic**: the delay before attempt `k` of item `i`
+//!   is `base · 2^(k-1)` scaled by jitter derived from
+//!   `(jitter_seed, i, k)` via [`derive_seed`](crate::derive_seed) — never
+//!   from wall clock or thread schedule — so a retried campaign runs the
+//!   same attempt pattern for every `--jobs` value;
+//! * **cancellation is a drain, not an abort**: when `cancel()` turns true,
+//!   workers stop claiming new items but finish (and retry) the ones in
+//!   flight, so every item ends in a definite disposition;
+//! * every final disposition is delivered to an `on_final` callback as soon
+//!   as it is known (the driver checkpoints completed units there, without
+//!   waiting for the whole campaign), and the returned
+//!   [`SupervisionReport`] records attempts, absorbed panics, and the final
+//!   disposition per item for `--timing-json`.
+//!
+//! Retry-budget exhaustion is the one schedule-dependent part: which item
+//! claims the last budget unit depends on worker interleaving. It affects
+//! only telemetry and how often a deterministic failure is retried — never
+//! the value a successful item produces — so stdout/CSV byte-identity
+//! across `--jobs` is preserved.
+
+use crate::{jobs, run_attempt, ItemFailure};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::atomic::AtomicUsize;
+use std::time::{Duration, Instant};
+
+/// Retry policy for one supervised campaign.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Retries allowed per item after its first attempt.
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles per subsequent retry.
+    pub backoff_base: Duration,
+    /// Campaign-wide cap on total retries across all items. Exhausting it
+    /// stops further retries (items fail with their last error) but never
+    /// aborts first attempts.
+    pub retry_budget: u32,
+    /// Keys the deterministic backoff jitter; pass the campaign seed.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 2,
+            backoff_base: Duration::from_millis(50),
+            retry_budget: 32,
+            jitter_seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Deadline-free policy that never retries (plain isolation).
+    pub fn no_retries() -> Self {
+        Self {
+            max_retries: 0,
+            retry_budget: 0,
+            ..Self::default()
+        }
+    }
+
+    /// Backoff before retrying item `index` after `failed_attempts`
+    /// attempts have failed (so `failed_attempts >= 1`). Exponential in the
+    /// attempt count with multiplicative jitter in `[0.5, 1.0)`, derived
+    /// purely from `(jitter_seed, index, failed_attempts)` — byte-identical
+    /// across runs, worker counts, and machines.
+    pub fn backoff(&self, index: usize, failed_attempts: u32) -> Duration {
+        let exp = failed_attempts.saturating_sub(1).min(16);
+        let base = self.backoff_base.as_secs_f64() * (1u64 << exp) as f64;
+        let bits = crate::derive_seed(
+            self.jitter_seed,
+            ((index as u64) << 8) | failed_attempts as u64,
+        );
+        // Top 53 bits → uniform in [0, 1).
+        let unit = (bits >> 11) as f64 / (1u64 << 53) as f64;
+        Duration::from_secs_f64(base * (0.5 + 0.5 * unit))
+    }
+}
+
+/// How a supervised item ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Disposition {
+    /// Succeeded on the first attempt.
+    Succeeded,
+    /// Failed, then a retry succeeded.
+    Recovered { retries: u32 },
+    /// Exhausted its retries (or the campaign budget) without succeeding.
+    Failed { retries: u32 },
+    /// Never started: the campaign drained before this item was claimed.
+    Skipped,
+}
+
+impl Disposition {
+    /// Stable one-word label for reports and JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Disposition::Succeeded => "succeeded",
+            Disposition::Recovered { .. } => "recovered",
+            Disposition::Failed { .. } => "failed",
+            Disposition::Skipped => "skipped",
+        }
+    }
+}
+
+/// Per-item record in a [`SupervisionReport`].
+#[derive(Debug, Clone)]
+pub struct ItemReport {
+    /// Input index of the item.
+    pub index: usize,
+    /// Attempts actually run (0 for skipped items).
+    pub attempts: u32,
+    /// Panics absorbed across those attempts.
+    pub panics: u32,
+    /// Total wall-clock across all attempts, seconds.
+    pub elapsed_s: f64,
+    pub disposition: Disposition,
+    /// Last failure message, for failed (and recovered) items.
+    pub error: Option<String>,
+}
+
+/// Structured outcome of one [`supervise`] campaign.
+#[derive(Debug, Clone)]
+pub struct SupervisionReport {
+    /// One entry per input item, in input order.
+    pub items: Vec<ItemReport>,
+    /// Total attempts run across all items.
+    pub attempts: u64,
+    /// Total retries (attempts beyond each item's first).
+    pub retries: u64,
+    /// Panics absorbed across all attempts.
+    pub panics_absorbed: u64,
+    /// The campaign's retry budget, for context in reports.
+    pub retry_budget: u32,
+    /// True when a retry was denied because the budget ran out.
+    pub budget_exhausted: bool,
+    /// True when the campaign drained early: at least one item was never
+    /// claimed because `cancel()` turned true.
+    pub cancelled: bool,
+}
+
+impl SupervisionReport {
+    pub fn count(&self, want: &str) -> usize {
+        self.items
+            .iter()
+            .filter(|i| i.disposition.label() == want)
+            .count()
+    }
+}
+
+/// Run `f` over `items` with panic isolation, supervised retries, and
+/// drain-style cancellation. See the module docs for the policy.
+///
+/// `f` receives `(index, attempt, &item)` with `attempt` starting at 0, so
+/// callers can make attempt-dependent behavior (or test hooks) explicit.
+/// `on_final(index, &outcome)` fires exactly once per *finalized* item, from
+/// the worker that ran it, as soon as its disposition is known; it is never
+/// called for skipped items. The returned vector is in input order; `None`
+/// marks an item skipped by cancellation.
+pub fn supervise<T, R, F>(
+    items: &[T],
+    policy: &RetryPolicy,
+    deadline: Option<Duration>,
+    cancel: &(dyn Fn() -> bool + Sync),
+    on_final: &(dyn Fn(usize, &Result<R, ItemFailure>) + Sync),
+    f: F,
+) -> (Vec<Option<Result<R, ItemFailure>>>, SupervisionReport)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, u32, &T) -> R + Sync,
+{
+    let n = items.len();
+    let cursor = AtomicUsize::new(0);
+    let budget = AtomicI64::new(policy.retry_budget as i64);
+    let budget_exhausted = AtomicBool::new(false);
+    let total_attempts = AtomicU64::new(0);
+    let total_retries = AtomicU64::new(0);
+    let total_panics = AtomicU64::new(0);
+
+    struct Meta {
+        attempts: u32,
+        panics: u32,
+        elapsed_s: f64,
+        error: Option<String>,
+    }
+    let mut slots: Vec<Option<(Result<R, ItemFailure>, Meta)>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+
+    // Same disjoint-slot contract as `par_map`: the claim counter gives
+    // every index to exactly one worker, and the scope joins all workers
+    // before `slots` is read.
+    struct SlotPtr<S>(*mut Option<S>);
+    unsafe impl<S: Send> Sync for SlotPtr<S> {}
+    let slot_ptr = SlotPtr(slots.as_mut_ptr());
+    let slot_ref = &slot_ptr;
+
+    let worker = |_w: usize| loop {
+        if cancel() {
+            break;
+        }
+        let i = cursor.fetch_add(1, Ordering::Relaxed);
+        if i >= n {
+            break;
+        }
+        let started = Instant::now();
+        let mut attempts = 0u32;
+        let mut panics = 0u32;
+        let outcome = loop {
+            attempts += 1;
+            total_attempts.fetch_add(1, Ordering::Relaxed);
+            match run_attempt(i, deadline, || f(i, attempts - 1, &items[i])) {
+                Ok(r) => break Ok(r),
+                Err(fail) => {
+                    if fail.panicked {
+                        panics += 1;
+                        total_panics.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if attempts > policy.max_retries {
+                        break Err(fail);
+                    }
+                    // Claim one unit of the campaign-wide retry budget.
+                    if budget.fetch_sub(1, Ordering::Relaxed) <= 0 {
+                        budget.fetch_add(1, Ordering::Relaxed);
+                        budget_exhausted.store(true, Ordering::Relaxed);
+                        break Err(fail);
+                    }
+                    total_retries.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(policy.backoff(i, attempts));
+                }
+            }
+        };
+        let meta = Meta {
+            attempts,
+            panics,
+            elapsed_s: started.elapsed().as_secs_f64(),
+            error: outcome.as_ref().err().map(|e| e.message.clone()),
+        };
+        on_final(i, &outcome);
+        // SAFETY: `i` came from a unique fetch_add claim; no other worker
+        // touches this slot, and the scope outlives every worker.
+        unsafe {
+            *slot_ref.0.add(i) = Some((outcome, meta));
+        }
+    };
+
+    let workers = jobs().min(n.max(1));
+    if workers <= 1 || n <= 1 {
+        worker(0);
+    } else {
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                scope.spawn(move || worker(w));
+            }
+        });
+    }
+
+    let mut results = Vec::with_capacity(n);
+    let mut reports = Vec::with_capacity(n);
+    let mut cancelled = false;
+    for (i, slot) in slots.into_iter().enumerate() {
+        match slot {
+            Some((outcome, meta)) => {
+                let disposition = match (&outcome, meta.attempts) {
+                    (Ok(_), 1) => Disposition::Succeeded,
+                    (Ok(_), a) => Disposition::Recovered { retries: a - 1 },
+                    (Err(_), a) => Disposition::Failed {
+                        retries: a.saturating_sub(1),
+                    },
+                };
+                reports.push(ItemReport {
+                    index: i,
+                    attempts: meta.attempts,
+                    panics: meta.panics,
+                    elapsed_s: meta.elapsed_s,
+                    disposition,
+                    error: meta.error,
+                });
+                results.push(Some(outcome));
+            }
+            None => {
+                cancelled = true;
+                reports.push(ItemReport {
+                    index: i,
+                    attempts: 0,
+                    panics: 0,
+                    elapsed_s: 0.0,
+                    disposition: Disposition::Skipped,
+                    error: None,
+                });
+                results.push(None);
+            }
+        }
+    }
+
+    let report = SupervisionReport {
+        items: reports,
+        attempts: total_attempts.load(Ordering::Relaxed),
+        retries: total_retries.load(Ordering::Relaxed),
+        panics_absorbed: total_panics.load(Ordering::Relaxed),
+        retry_budget: policy.retry_budget,
+        budget_exhausted: budget_exhausted.load(Ordering::Relaxed),
+        cancelled,
+    };
+    (results, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn quiet_policy() -> RetryPolicy {
+        RetryPolicy {
+            backoff_base: Duration::from_millis(1),
+            jitter_seed: 42,
+            ..Default::default()
+        }
+    }
+
+    /// Silence the default panic hook for a scope that panics on purpose.
+    fn hushed<R>(f: impl FnOnce() -> R) -> R {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = f();
+        std::panic::set_hook(prev);
+        out
+    }
+
+    #[test]
+    fn retry_recovers_transiently_poisoned_item() {
+        let items: Vec<u64> = (0..8).collect();
+        let (results, report) = hushed(|| {
+            supervise(
+                &items,
+                &quiet_policy(),
+                None,
+                &|| false,
+                &|_, _| {},
+                |_, attempt, &x| {
+                    // Item 3 panics on its first attempt only.
+                    if x == 3 && attempt == 0 {
+                        panic!("transient fault");
+                    }
+                    x * 2
+                },
+            )
+        });
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(
+                *r.as_ref().unwrap().as_ref().unwrap(),
+                i as u64 * 2,
+                "item {i}"
+            );
+        }
+        let r3 = &report.items[3];
+        assert_eq!(r3.disposition, Disposition::Recovered { retries: 1 });
+        assert_eq!(r3.attempts, 2);
+        assert_eq!(r3.panics, 1);
+        assert_eq!(report.count("recovered"), 1);
+        assert_eq!(report.count("succeeded"), 7);
+        assert_eq!(report.retries, 1);
+        assert!(!report.cancelled);
+        assert!(!report.budget_exhausted);
+    }
+
+    #[test]
+    fn persistent_failure_exhausts_bounded_retries() {
+        let items = [1u64];
+        let (results, report) = hushed(|| {
+            supervise(
+                &items,
+                &quiet_policy(),
+                None,
+                &|| false,
+                &|_, _| {},
+                |_, _, _| -> u64 { panic!("always broken") },
+            )
+        });
+        let fail = results[0].as_ref().unwrap().as_ref().unwrap_err();
+        assert!(fail.message.contains("always broken"));
+        assert!(fail.panicked);
+        let item = &report.items[0];
+        assert_eq!(item.disposition, Disposition::Failed { retries: 2 });
+        assert_eq!(item.attempts, 3, "1 attempt + max_retries");
+        assert_eq!(report.attempts, 3);
+        assert_eq!(report.retries, 2);
+        assert_eq!(item.error.as_deref(), Some("always broken"));
+    }
+
+    #[test]
+    fn zero_budget_means_no_retries() {
+        let items: Vec<u64> = (0..4).collect();
+        let policy = RetryPolicy {
+            retry_budget: 0,
+            ..quiet_policy()
+        };
+        let (_, report) = hushed(|| {
+            supervise(
+                &items,
+                &policy,
+                None,
+                &|| false,
+                &|_, _| {},
+                |_, _, _| -> u64 { panic!("broken") },
+            )
+        });
+        assert_eq!(report.retries, 0, "budget 0 denies every retry");
+        assert!(report.budget_exhausted);
+        for item in &report.items {
+            assert_eq!(item.attempts, 1);
+            assert!(matches!(item.disposition, Disposition::Failed { retries: 0 }));
+        }
+    }
+
+    #[test]
+    fn budget_caps_total_retries_across_items() {
+        let items: Vec<u64> = (0..6).collect();
+        let policy = RetryPolicy {
+            retry_budget: 3,
+            ..quiet_policy()
+        };
+        let (_, report) = hushed(|| {
+            supervise(
+                &items,
+                &policy,
+                None,
+                &|| false,
+                &|_, _| {},
+                |_, _, _| -> u64 { panic!("broken") },
+            )
+        });
+        assert_eq!(report.retries, 3, "exactly the budget is spent");
+        assert!(report.budget_exhausted);
+        assert_eq!(report.count("failed"), 6);
+    }
+
+    #[test]
+    fn cancel_drains_instead_of_aborting() {
+        crate::set_jobs(1);
+        let items: Vec<u64> = (0..10).collect();
+        let finalized = AtomicUsize::new(0);
+        let (results, report) = supervise(
+            &items,
+            &RetryPolicy::no_retries(),
+            None,
+            &|| finalized.load(Ordering::Relaxed) >= 3,
+            &|_, _| {
+                finalized.fetch_add(1, Ordering::Relaxed);
+            },
+            |_, _, &x| x + 1,
+        );
+        crate::set_jobs(0);
+        let done = results.iter().filter(|r| r.is_some()).count();
+        assert_eq!(done, 3, "drain finishes in-flight items, claims no more");
+        assert!(report.cancelled);
+        assert_eq!(report.count("skipped"), 7);
+        // Completed items are correct and in order.
+        for (i, r) in results.iter().take(3).enumerate() {
+            assert_eq!(*r.as_ref().unwrap().as_ref().unwrap(), i as u64 + 1);
+        }
+        // Skipped items report attempts = 0.
+        for item in report.items.iter().skip(3) {
+            assert_eq!(item.attempts, 0);
+            assert_eq!(item.disposition, Disposition::Skipped);
+        }
+    }
+
+    #[test]
+    fn on_final_fires_once_per_finalized_item() {
+        let items: Vec<u64> = (0..32).collect();
+        let calls = AtomicUsize::new(0);
+        let (results, _) = supervise(
+            &items,
+            &RetryPolicy::no_retries(),
+            None,
+            &|| false,
+            &|i, outcome| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                assert_eq!(*outcome.as_ref().unwrap(), i as u64 * 3);
+            },
+            |_, _, &x| x * 3,
+        );
+        assert_eq!(calls.load(Ordering::Relaxed), items.len());
+        assert!(results.iter().all(|r| r.is_some()));
+    }
+
+    #[test]
+    fn backoff_is_deterministic_exponential_with_jitter() {
+        let policy = RetryPolicy {
+            backoff_base: Duration::from_millis(100),
+            jitter_seed: 7,
+            ..Default::default()
+        };
+        for index in [0usize, 3, 17] {
+            for attempt in 1..=4u32 {
+                let d = policy.backoff(index, attempt);
+                assert_eq!(d, policy.backoff(index, attempt), "stable across calls");
+                let base = 0.1 * (1u64 << (attempt - 1)) as f64;
+                let s = d.as_secs_f64();
+                assert!(s >= base * 0.5 && s < base, "attempt {attempt}: {s}s");
+            }
+        }
+        // Jitter decorrelates items and seeds.
+        assert_ne!(policy.backoff(0, 1), policy.backoff(1, 1));
+        let other = RetryPolicy {
+            jitter_seed: 8,
+            ..policy.clone()
+        };
+        assert_ne!(policy.backoff(0, 1), other.backoff(0, 1));
+    }
+
+    #[test]
+    fn results_identical_across_job_counts() {
+        let items: Vec<u64> = (0..64).collect();
+        let mut runs: Vec<String> = Vec::new();
+        for jobs in [1usize, 4] {
+            crate::set_jobs(jobs);
+            let (results, _) = hushed(|| {
+                supervise(
+                    &items,
+                    &quiet_policy(),
+                    None,
+                    &|| false,
+                    &|_, _| {},
+                    |i, attempt, &x| {
+                        // Item 11 recovers on retry; item 42 always fails.
+                        if x == 11 && attempt == 0 {
+                            panic!("transient");
+                        }
+                        if x == 42 {
+                            panic!("permanent");
+                        }
+                        crate::derive_seed(x, i as u64)
+                    },
+                )
+            });
+            let rendered: Vec<String> = results
+                .iter()
+                .map(|r| match r {
+                    Some(Ok(v)) => format!("ok:{v}"),
+                    Some(Err(e)) => format!("err:{}:{}", e.index, e.message),
+                    None => "skipped".to_string(),
+                })
+                .collect();
+            runs.push(rendered.join(","));
+        }
+        crate::set_jobs(0);
+        assert_eq!(runs[0], runs[1]);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_report() {
+        let items: Vec<u64> = vec![];
+        let (results, report) =
+            supervise(&items, &RetryPolicy::default(), None, &|| false, &|_, _| {}, |_, _, &x| x);
+        assert!(results.is_empty());
+        assert!(report.items.is_empty());
+        assert_eq!(report.attempts, 0);
+        assert!(!report.cancelled);
+    }
+}

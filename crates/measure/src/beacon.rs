@@ -228,6 +228,7 @@ pub fn run_beacons(
                 anycast_front_end: any_svc.front_end,
                 unicast_rtt_ms,
             });
+            crate::progress::window_done();
         }
         Some((rows, tally))
     });

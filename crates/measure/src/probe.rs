@@ -171,6 +171,7 @@ pub fn probe_tiers(
                     ingress_distance_km,
                     intermediate_ases: tp.intermediate_ases,
                 });
+                crate::progress::window_done();
             }
         }
         (out, tally)

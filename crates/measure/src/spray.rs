@@ -281,6 +281,7 @@ pub fn spray(
                     route_samples: counts,
                     volume,
                 });
+                crate::progress::window_done();
             }
             (rows, tally)
         }));

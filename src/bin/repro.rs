@@ -3,6 +3,7 @@
 //! ```text
 //! repro [EXPERIMENT] [--scale test|full|large] [--seed N] [--jobs N] [--timing]
 //!       [--faults off|light|heavy] [--keep-going]
+//!       [--checkpoint DIR] [--resume DIR]
 //!
 //! EXPERIMENT: all (default) | fig1 | fig2 | s311 | fig3 | fig4 | fig5 |
 //!             calib | goodput | xpeer | xgroom | xsites | xonenet | xsplit
@@ -11,7 +12,8 @@
 //! Exit codes: 0 = every selected experiment succeeded; 1 = a runtime
 //! failure (an experiment errored or panicked — with `--keep-going` the
 //! survivors still print); 2 = usage error (bad flag value, unknown
-//! experiment).
+//! experiment, stale checkpoint); 130 = interrupted (SIGINT/SIGTERM drain
+//! — resumable when `--checkpoint` was set).
 //!
 //! Experiments run concurrently on up to `--jobs` workers, but stdout is
 //! assembled in a fixed order from per-experiment buffers, and every
@@ -20,19 +22,32 @@
 //! Worlds and studies shared by several experiments (the Facebook spray
 //! campaign feeds fig1/fig2/s311/xfabric; the Microsoft world feeds
 //! fig3/fig4 and five extensions) are built once and memoized.
+//!
+//! Experiments run *supervised* (`bb_exec::supervisor`): a panicked or
+//! failed experiment is retried up to twice with deterministic seed-keyed
+//! backoff under a campaign-wide retry budget. With `--checkpoint DIR`,
+//! every completed experiment is flushed to a versioned `checkpoint.bbck`
+//! manifest (atomic temp-file+rename), and `--resume DIR` replays
+//! completed units byte-identically instead of recomputing them. SIGINT
+//! and SIGTERM trigger a graceful drain: in-flight experiments finish,
+//! the checkpoint is flushed, and the run exits 130 with an
+//! `=== INTERRUPTED (resumable) ===` block on stderr.
 
 use beating_bgp::cdn::EgressController;
 use beating_bgp::core::ext::{
     availability, ecs, fabric, grooming, hybrid, peering_reduction, single_network, site_count,
     split_tcp,
 };
+use beating_bgp::core::checkpoint::{CampaignKey, Checkpoint, UnitResult};
 use beating_bgp::core::{calibration, study_anycast, study_egress, study_tiers};
 use beating_bgp::core::{BbResult, Scale, Scenario, ScenarioConfig};
+use beating_bgp::exec::supervisor::{self, SupervisionReport};
 use beating_bgp::exec::timing;
 use beating_bgp::netsim::FaultLevel;
 use beating_bgp::measure::{BeaconConfig, ProbeConfig, SprayConfig};
 use std::fmt::Write as _;
-use std::sync::OnceLock;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 struct Args {
     experiment: String,
@@ -48,7 +63,38 @@ struct Args {
     faults: FaultLevel,
     /// Keep running surviving experiments when one fails or panics.
     keep_going: bool,
+    /// Flush a checkpoint manifest here after every completed experiment.
+    checkpoint: Option<std::path::PathBuf>,
+    /// Resume from the checkpoint manifest in this directory (implies
+    /// checkpointing back to the same directory).
+    resume: Option<std::path::PathBuf>,
 }
+
+/// Set by the SIGINT/SIGTERM handlers; the supervisor's cancel hook reads
+/// it before claiming each experiment, turning a kill into a graceful
+/// drain: in-flight experiments finish, nothing new starts.
+static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_signal_drain() {
+    extern "C" fn on_signal(_sig: i32) {
+        INTERRUPTED.store(true, Ordering::SeqCst);
+    }
+    // `signal(2)` via the libc std already links — no new dependency. The
+    // handler only stores to an AtomicBool (async-signal-safe).
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_signal);
+        signal(SIGTERM, on_signal);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_drain() {}
 
 fn parse_args() -> Args {
     let mut experiment = "all".to_string();
@@ -60,6 +106,8 @@ fn parse_args() -> Args {
     let mut timing_json: Option<std::path::PathBuf> = None;
     let mut faults = FaultLevel::Off;
     let mut keep_going = false;
+    let mut checkpoint: Option<std::path::PathBuf> = None;
+    let mut resume: Option<std::path::PathBuf> = None;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
@@ -129,11 +177,30 @@ fn parse_args() -> Args {
                 }
                 csv_dir = Some(dir);
             }
+            "--checkpoint" => {
+                i += 1;
+                checkpoint = Some(std::path::PathBuf::from(
+                    argv.get(i).cloned().unwrap_or_else(|| {
+                        eprintln!("--checkpoint needs a directory");
+                        std::process::exit(2);
+                    }),
+                ));
+            }
+            "--resume" => {
+                i += 1;
+                resume = Some(std::path::PathBuf::from(argv.get(i).cloned().unwrap_or_else(
+                    || {
+                        eprintln!("--resume needs a directory");
+                        std::process::exit(2);
+                    },
+                )));
+            }
             "--help" | "-h" => {
                 println!(
                     "repro [EXPERIMENT] [--scale test|full|large] [--seed N] [--jobs N] \
                      [--timing] [--timing-json PATH] [--csv DIR] \
-                     [--faults off|light|heavy] [--keep-going]\n\
+                     [--faults off|light|heavy] [--keep-going] \
+                     [--checkpoint DIR] [--resume DIR]\n\
                      experiments: all fig1 fig2 s311 fig3 fig4 fig5 calib goodput \
                      xpeer xgroom xsites xonenet xsplit xablate xavail xhybrid xfabric xecs\n\
                      --jobs N   worker threads (default: available cores); output is\n\
@@ -147,8 +214,13 @@ fn parse_args() -> Args {
                      {:11}to a build without the fault plane\n\
                      --keep-going  on experiment failure or panic, print a diagnostic\n\
                      {:11}and continue; survivors print normally, exit code 1\n\
-                     exit codes: 0 ok, 1 runtime failure, 2 usage error",
-                    "", "", "", "", "", ""
+                     --checkpoint DIR  flush a resumable checkpoint manifest after each\n\
+                     {:11}completed experiment; SIGINT/SIGTERM drain gracefully\n\
+                     --resume DIR  replay completed experiments from DIR's checkpoint\n\
+                     {:11}(stale checkpoints are rejected, exit 2), continue the rest\n\
+                     exit codes: 0 ok, 1 runtime failure, 2 usage error, \
+                     130 interrupted (resumable)",
+                    "", "", "", "", "", "", "", ""
                 );
                 std::process::exit(0);
             }
@@ -166,22 +238,31 @@ fn parse_args() -> Args {
         timing_json,
         faults,
         keep_going,
+        checkpoint,
+        resume,
+    }
+}
+
+fn scale_label(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Test => "test",
+        Scale::Full => "full",
+        Scale::Large => "large",
     }
 }
 
 /// Assemble the structured perf report from the timing registry, the
-/// sample counters, and the subsystem caches.
-fn perf_report(args: &Args, wall_s: f64) -> beating_bgp::bench::PerfReport {
+/// sample counters, the subsystem caches, and the supervision report.
+fn perf_report(
+    args: &Args,
+    wall_s: f64,
+    supervision: &SupervisionReport,
+) -> beating_bgp::bench::PerfReport {
     use beating_bgp::bench::{CounterSample, PerfReport, PhaseTiming, RouteCacheStats};
     let (hits, misses, resident) = beating_bgp::exec::cache_stats();
     PerfReport {
         experiment: args.experiment.clone(),
-        scale: match args.scale {
-            Scale::Test => "test",
-            Scale::Full => "full",
-            Scale::Large => "large",
-        }
-        .to_string(),
+        scale: scale_label(args.scale).to_string(),
         seed: args.seed,
         jobs: beating_bgp::exec::jobs(),
         wall_s,
@@ -221,6 +302,15 @@ fn perf_report(args: &Args, wall_s: f64) -> beating_bgp::bench::PerfReport {
                 windows_dropped: get("faults:windows_dropped"),
                 panics_isolated: beating_bgp::exec::panics_isolated() as u64,
             }
+        },
+        supervision: beating_bgp::bench::SupervisionStats {
+            attempts: supervision.attempts,
+            retries: supervision.retries,
+            panics_absorbed: supervision.panics_absorbed,
+            recovered: supervision.count("recovered") as u64,
+            failed: supervision.count("failed") as u64,
+            skipped: supervision.count("skipped") as u64,
+            budget_exhausted: supervision.budget_exhausted,
         },
         congestion_races_closed: beating_bgp::netsim::materialize_races_closed() as u64,
     }
@@ -333,38 +423,62 @@ fn main() {
             .map_err(Clone::clone)
     };
 
-    // --- Experiments: (name, closure → stdout chunk), in output order. ---
-    type Exp<'a> = (&'static str, Box<dyn Fn() -> BbResult<String> + Sync + 'a>);
+    // --- Experiments: (name, closure → unit result), in output order. ---
+    // Each closure returns the experiment's stdout chunk plus any files it
+    // rendered (written immediately, and captured for the checkpoint so a
+    // resumed run can replay them byte-identically without recomputing).
+    let text = |stdout: String| -> BbResult<UnitResult> {
+        Ok(UnitResult {
+            stdout,
+            files: Vec::new(),
+        })
+    };
+    let export_csv = |fname: &str, bytes: Vec<u8>| -> BbResult<Vec<(String, Vec<u8>)>> {
+        let dir = args.csv_dir.as_ref().expect("export_csv requires --csv");
+        beating_bgp::core::export::write_atomic_bytes(&dir.join(fname), &bytes)?;
+        Ok(vec![(fname.to_string(), bytes)])
+    };
+    type Exp<'a> = (&'static str, Box<dyn Fn() -> BbResult<UnitResult> + Sync + 'a>);
     let experiments: Vec<Exp> = vec![
         (
             "calib",
-            Box::new(|| Ok(format!("{}\n", calibration::run(facebook()).render()))),
+            Box::new(|| text(format!("{}\n", calibration::run(facebook()).render()))),
         ),
         (
             "fig1",
             Box::new(|| {
                 let study = egress_study()?;
-                if let Some(dir) = &args.csv_dir {
-                    beating_bgp::core::export::fig1_csv(&study.fig1, dir)?;
-                }
-                Ok(format!("{}\n", study.fig1.render()))
+                let files = if args.csv_dir.is_some() {
+                    export_csv("fig1.csv", beating_bgp::core::export::fig1_csv_bytes(&study.fig1))?
+                } else {
+                    Vec::new()
+                };
+                Ok(UnitResult {
+                    stdout: format!("{}\n", study.fig1.render()),
+                    files,
+                })
             }),
         ),
         (
             "fig2",
             Box::new(|| {
                 let study = egress_study()?;
-                if let Some(dir) = &args.csv_dir {
-                    beating_bgp::core::export::fig2_csv(&study.fig2, dir)?;
-                }
-                Ok(format!("{}\n", study.fig2.render()))
+                let files = if args.csv_dir.is_some() {
+                    export_csv("fig2.csv", beating_bgp::core::export::fig2_csv_bytes(&study.fig2))?
+                } else {
+                    Vec::new()
+                };
+                Ok(UnitResult {
+                    stdout: format!("{}\n", study.fig2.render()),
+                    files,
+                })
             }),
         ),
         (
             "s311",
             Box::new(|| {
                 let study = egress_study()?;
-                Ok(format!(
+                text(format!(
                     "{}\nS3.1 bandwidth: alternate improves goodput >=10% for {:.1}% of traffic \
                      (paper: \"qualitatively similar results for bandwidth\")\n\n",
                     study.episodes.render(),
@@ -376,36 +490,51 @@ fn main() {
             "fig3",
             Box::new(|| {
                 let study = anycast_study()?;
-                if let Some(dir) = &args.csv_dir {
-                    beating_bgp::core::export::fig3_csv(&study.fig3, dir)?;
-                }
-                Ok(format!("{}\n", study.fig3.render()))
+                let files = if args.csv_dir.is_some() {
+                    export_csv("fig3.csv", beating_bgp::core::export::fig3_csv_bytes(&study.fig3))?
+                } else {
+                    Vec::new()
+                };
+                Ok(UnitResult {
+                    stdout: format!("{}\n", study.fig3.render()),
+                    files,
+                })
             }),
         ),
         (
             "fig4",
             Box::new(|| {
                 let study = anycast_study()?;
-                if let Some(dir) = &args.csv_dir {
-                    beating_bgp::core::export::fig4_csv(&study.fig4, dir)?;
-                }
-                Ok(format!("{}\n", study.fig4.render()))
+                let files = if args.csv_dir.is_some() {
+                    export_csv("fig4.csv", beating_bgp::core::export::fig4_csv_bytes(&study.fig4))?
+                } else {
+                    Vec::new()
+                };
+                Ok(UnitResult {
+                    stdout: format!("{}\n", study.fig4.render()),
+                    files,
+                })
             }),
         ),
         (
             "fig5",
             Box::new(|| {
                 let study = tiers_study()?;
-                if let Some(dir) = &args.csv_dir {
-                    beating_bgp::core::export::fig5_csv(&study.fig5, dir)?;
-                }
-                Ok(format!("{}\n", study.fig5.render()))
+                let files = if args.csv_dir.is_some() {
+                    export_csv("fig5.csv", beating_bgp::core::export::fig5_csv_bytes(&study.fig5))?
+                } else {
+                    Vec::new()
+                };
+                Ok(UnitResult {
+                    stdout: format!("{}\n", study.fig5.render()),
+                    files,
+                })
             }),
         ),
         (
             "goodput",
             Box::new(|| {
-                Ok(format!(
+                text(format!(
                     "S4 goodput: weighted median 10MB transfer-time difference \
                      (standard - premium): {:+.2} s\n\n",
                     tiers_study()?.goodput_diff_s
@@ -421,7 +550,7 @@ fn main() {
                     writeln!(out, "{}", b.render_row()).unwrap();
                 }
                 out.push('\n');
-                Ok(out)
+                text(out)
             }),
         ),
         (
@@ -434,7 +563,7 @@ fn main() {
                     writeln!(out, "{}", step.render_row()).unwrap();
                 }
                 out.push('\n');
-                Ok(out)
+                text(out)
             }),
         ),
         (
@@ -449,7 +578,7 @@ fn main() {
                 let baseline = grooming::groomed_baseline(scenario);
                 writeln!(out, "  fully-groomed baseline: {}", baseline.render_row()).unwrap();
                 out.push('\n');
-                Ok(out)
+                text(out)
             }),
         ),
         (
@@ -461,7 +590,7 @@ fn main() {
                     writeln!(out, "{}", p.render_row()).unwrap();
                 }
                 out.push('\n');
-                Ok(out)
+                text(out)
             }),
         ),
         (
@@ -473,7 +602,7 @@ fn main() {
                     writeln!(out, "{}", p.render_row()).unwrap();
                 }
                 out.push('\n');
-                Ok(out)
+                text(out)
             }),
         ),
         (
@@ -484,7 +613,7 @@ fn main() {
                     args.seed ^ 0x_a1a,
                     &availability::RecoveryConfig::default(),
                 );
-                Ok(format!("{}\n", r.render()))
+                text(format!("{}\n", r.render()))
             }),
         ),
         (
@@ -496,7 +625,7 @@ fn main() {
                     writeln!(out, "{}", s.render_row()).unwrap();
                 }
                 out.push('\n');
-                Ok(out)
+                text(out)
             }),
         ),
         (
@@ -506,7 +635,7 @@ fn main() {
                 // same spray config) instead of re-running the campaign.
                 let study = egress_study()?;
                 let r = fabric::evaluate(&study.dataset, &EgressController::default());
-                Ok(format!("{}\n", r.render()))
+                text(format!("{}\n", r.render()))
             }),
         ),
         (
@@ -568,7 +697,7 @@ fn main() {
                     .unwrap();
                 }
                 out.push('\n');
-                Ok(out)
+                text(out)
             }),
         ),
         (
@@ -579,7 +708,7 @@ fn main() {
                 for bytes in [30e3, 300e3, 3e6] {
                     writeln!(out, "{}", split_tcp::run(scenario, bytes, None).render()).unwrap();
                 }
-                Ok(out)
+                text(out)
             }),
         ),
     ];
@@ -589,28 +718,227 @@ fn main() {
         eprintln!("unknown experiment '{}' — try --help", args.experiment);
         std::process::exit(2);
     }
+    let names: Vec<&'static str> = selected.iter().map(|(n, _)| *n).collect();
 
-    // Test hook: BB_REPRO_POISON=<name> makes that experiment panic, so the
-    // isolation + --keep-going path can be exercised end to end.
-    let poison = std::env::var("BB_REPRO_POISON").ok();
-
-    // Run concurrently with panic isolation, print in order: stdout bytes
-    // do not depend on the worker count or the schedule, and one
-    // experiment's panic cannot take down its siblings.
-    let outcomes = beating_bgp::exec::par_map_isolated(&selected, None, |_, (name, run)| {
-        if poison.as_deref() == Some(*name) {
-            panic!("poisoned by BB_REPRO_POISON");
+    // --- Checkpoint / resume wiring. ---
+    // The campaign key pins everything that feeds unit output; a manifest
+    // whose key mismatches is rejected (exit 2), never silently reused.
+    // `--resume DIR` implies continuing to checkpoint into DIR.
+    let ckpt_dir = args.resume.clone().or_else(|| args.checkpoint.clone());
+    let campaign_key = CampaignKey::new(
+        args.seed,
+        scale_label(args.scale),
+        args.faults.as_str(),
+        names.join(","),
+        args.csv_dir.is_some(),
+    );
+    let mut replay: std::collections::BTreeMap<&'static str, UnitResult> =
+        std::collections::BTreeMap::new();
+    let ck_shared: Option<Arc<(std::path::PathBuf, Mutex<Checkpoint>)>> = match &ckpt_dir {
+        None => None,
+        Some(dir) => {
+            install_signal_drain();
+            let ck = if args.resume.is_some() {
+                match Checkpoint::load(dir).and_then(|ck| {
+                    ck.validate(&campaign_key)?;
+                    Ok(ck)
+                }) {
+                    Ok(ck) => {
+                        for name in &names {
+                            if let Some(unit) = ck.get(name) {
+                                replay.insert(name, unit.clone());
+                            }
+                        }
+                        eprintln!(
+                            "[repro] resuming: {}/{} experiments already completed in {}",
+                            replay.len(),
+                            names.len(),
+                            dir.display()
+                        );
+                        ck
+                    }
+                    Err(e) => {
+                        eprintln!("--resume: {e}");
+                        std::process::exit(2);
+                    }
+                }
+            } else {
+                Checkpoint::new(campaign_key.clone())
+            };
+            Some(Arc::new((dir.clone(), Mutex::new(ck))))
         }
-        timing::time(&format!("exp:{name}"), run)
-    });
+    };
+    let flush = |shared: &(std::path::PathBuf, Mutex<Checkpoint>), warn: bool| {
+        let mut ck = shared.1.lock().unwrap_or_else(|e| e.into_inner());
+        ck.windows_done = beating_bgp::measure::progress::windows_done();
+        timing::time("checkpoint:flush", || {
+            if let Err(e) = ck.save(&shared.0) {
+                if warn {
+                    eprintln!("[repro] warning: checkpoint flush failed: {e}");
+                }
+            }
+        });
+    };
+    // Window-granular flushes inside a study: every N completed measurement
+    // windows the manifest is re-written with up-to-date progress, so even
+    // a kill in the middle of one long experiment leaves a fresh manifest.
+    // Without --checkpoint no hook is installed and the pipelines pay one
+    // relaxed counter increment per window — nothing else. The interval is
+    // sized so periodic flushes stay well under the 2% wall-clock budget
+    // the bench smoke enforces (each flush rewrites the whole manifest).
+    if let Some(shared) = &ck_shared {
+        let s = Arc::clone(shared);
+        beating_bgp::measure::progress::set_hook(
+            32_768,
+            Arc::new(move |_| flush(&s, false)),
+        );
+    }
 
+    // Experiments still to run (everything not replayed from a checkpoint).
+    let run_list: Vec<Exp> = selected
+        .iter()
+        .filter(|(n, _)| !replay.contains_key(n))
+        .map(|(n, run)| {
+            // Re-borrow the boxed closure; the original stays in `selected`.
+            let run: &(dyn Fn() -> BbResult<UnitResult> + Sync) = run.as_ref();
+            (*n, Box::new(move || run()) as Box<dyn Fn() -> BbResult<UnitResult> + Sync>)
+        })
+        .collect();
+
+    // Test hooks: BB_REPRO_POISON=<name> makes that experiment panic on
+    // every attempt (exercises isolation + --keep-going end to end);
+    // BB_REPRO_POISON=<name>:<k> panics only the first k attempts, so the
+    // supervised-retry recovery path can be driven deterministically.
+    // BB_REPRO_UNIT_LIMIT=<n> cancels the campaign after n finalized
+    // experiments — a deterministic stand-in for SIGTERM in tests.
+    let poison = std::env::var("BB_REPRO_POISON").ok();
+    let (poison_name, poison_attempts): (Option<String>, u32) = match poison {
+        None => (None, 0),
+        Some(spec) => match spec.split_once(':') {
+            Some((name, k)) => (
+                Some(name.to_string()),
+                k.parse().unwrap_or_else(|_| {
+                    eprintln!("BB_REPRO_POISON: bad attempt count in {spec:?}");
+                    std::process::exit(2);
+                }),
+            ),
+            None => (Some(spec), u32::MAX),
+        },
+    };
+    let unit_limit: Option<usize> = std::env::var("BB_REPRO_UNIT_LIMIT")
+        .ok()
+        .and_then(|s| s.parse().ok());
+    let finalized = AtomicUsize::new(0);
+    let cancel = || {
+        INTERRUPTED.load(Ordering::Relaxed)
+            || unit_limit.is_some_and(|limit| finalized.load(Ordering::Relaxed) >= limit)
+    };
+    let on_final = |i: usize, outcome: &Result<BbResult<UnitResult>, _>| {
+        if let (Ok(Ok(unit)), Some(shared)) = (outcome, &ck_shared) {
+            {
+                let mut ck = shared.1.lock().unwrap_or_else(|e| e.into_inner());
+                ck.record(run_list[i].0, unit.clone());
+            }
+            flush(shared, true);
+        }
+        finalized.fetch_add(1, Ordering::Relaxed);
+    };
+
+    // Run concurrently under supervision, print in order: stdout bytes do
+    // not depend on the worker count or the schedule, one experiment's
+    // panic cannot take down its siblings, and a failed/panicked experiment
+    // is retried (bounded, deterministic backoff) before being declared
+    // dead. The deadline stays advisory (None): experiments are never
+    // killed mid-flight, so cancellation is always a clean drain.
+    let policy = supervisor::RetryPolicy {
+        max_retries: 2,
+        backoff_base: std::time::Duration::from_millis(50),
+        retry_budget: 8,
+        jitter_seed: args.seed,
+    };
+    let (outcomes, sup_report) =
+        supervisor::supervise(&run_list, &policy, None, &cancel, &on_final, |_, attempt, (name, run)| {
+            if poison_name.as_deref() == Some(*name) && attempt < poison_attempts {
+                panic!("poisoned by BB_REPRO_POISON (attempt {attempt})");
+            }
+            timing::time(&format!("exp:{name}"), run)
+        });
+    beating_bgp::measure::progress::reset();
+
+    // A drain that skipped work means the campaign is incomplete: flush the
+    // final manifest, say how to pick the run back up, and exit 130 with
+    // NOTHING on stdout — partial stdout is worse than none, and the resume
+    // path reproduces the full byte-identical output anyway.
+    let interrupted = outcomes.iter().any(|o| o.is_none());
+    if interrupted {
+        match &ck_shared {
+            Some(shared) => {
+                flush(shared, true);
+                let done = shared.1.lock().unwrap_or_else(|e| e.into_inner()).units.len();
+                eprintln!("=== INTERRUPTED (resumable) ===");
+                eprintln!(
+                    "  completed {done}/{} experiments; checkpoint flushed to {}",
+                    selected.len(),
+                    shared.0.display()
+                );
+                eprintln!(
+                    "  resume with: repro {} --resume {} --seed {} --scale {} --faults {}",
+                    args.experiment,
+                    shared.0.display(),
+                    args.seed,
+                    scale_label(args.scale),
+                    args.faults.as_str()
+                );
+                eprintln!("=== END INTERRUPTED ===");
+            }
+            None => {
+                eprintln!("=== INTERRUPTED ===");
+                eprintln!(
+                    "  campaign stopped early with no --checkpoint directory; completed \
+                     work was discarded"
+                );
+                eprintln!("=== END INTERRUPTED ===");
+            }
+        }
+        std::process::exit(130);
+    }
+
+    // Assemble stdout in selection order: replayed units contribute their
+    // cached bytes (and re-write their cached CSV files), fresh units
+    // contribute what they just computed.
+    let mut computed: std::collections::HashMap<&str, Result<BbResult<UnitResult>, _>> = run_list
+        .iter()
+        .map(|(n, _)| *n)
+        .zip(outcomes)
+        .map(|(n, o)| (n, o.expect("non-interrupted run finalizes every unit")))
+        .collect();
     let mut stdout = String::new();
     let mut failures: Vec<(&str, String)> = Vec::new();
-    for ((name, _), outcome) in selected.iter().zip(outcomes) {
-        match outcome {
-            Ok(Ok(chunk)) => stdout.push_str(&chunk),
+    for name in &names {
+        if let Some(unit) = replay.get(name) {
+            stdout.push_str(&unit.stdout);
+            if let Some(dir) = &args.csv_dir {
+                for (fname, bytes) in &unit.files {
+                    if let Err(e) =
+                        beating_bgp::core::export::write_atomic_bytes(&dir.join(fname), bytes)
+                    {
+                        failures.push((name, format!("replaying cached export: {e}")));
+                    }
+                }
+            }
+            continue;
+        }
+        match computed.remove(name).expect("every selected unit ran or replayed") {
+            Ok(Ok(unit)) => stdout.push_str(&unit.stdout),
             Ok(Err(e)) => failures.push((name, e.to_string())),
-            Err(f) => failures.push((name, format!("panicked: {}", f.message))),
+            Err(f) => failures.push((
+                name,
+                format!(
+                    "panicked: {} (final attempt died after {:.3}s)",
+                    f.message,
+                    f.elapsed.as_secs_f64()
+                ),
+            )),
         }
     }
 
@@ -639,9 +967,17 @@ fn main() {
             "congestion races closed: {}",
             beating_bgp::netsim::materialize_races_closed()
         );
+        eprintln!(
+            "supervision: {} attempts, {} retries ({} recovered, {} failed, {} replayed)",
+            sup_report.attempts,
+            sup_report.retries,
+            sup_report.count("recovered"),
+            sup_report.count("failed"),
+            replay.len()
+        );
     }
     if let Some(path) = &args.timing_json {
-        let report = perf_report(&args, wall_s);
+        let report = perf_report(&args, wall_s, &sup_report);
         if let Err(e) = std::fs::write(path, report.to_json()) {
             eprintln!("--timing-json: cannot write {}: {e}", path.display());
             std::process::exit(1);

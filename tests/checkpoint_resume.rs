@@ -1,0 +1,299 @@
+//! Kill-and-resume integration tests for the campaign checkpoint subsystem.
+//!
+//! The contract under test (ISSUE 4 acceptance criteria): a run stopped
+//! mid-campaign and resumed with `--resume` produces stdout and CSV exports
+//! **byte-identical** to an uninterrupted run at the same seed/scale — for
+//! `--jobs 1` and `--jobs 4` alike — and a stale checkpoint (wrong seed,
+//! scale, or schema version) is rejected with exit 2, never silently
+//! reused.
+//!
+//! The mid-campaign stop uses `BB_REPRO_UNIT_LIMIT=<n>`, the deterministic
+//! stand-in for SIGTERM: it flips the same cancel hook the signal handlers
+//! set, so the drain/flush/exit-130 path is identical, without the races of
+//! killing a half-started process from a test.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bb_ckres_{}_{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn run(args: &[&str], env: &[(&str, &str)]) -> Output {
+    let mut cmd = repro();
+    cmd.args(args);
+    for (k, v) in env {
+        cmd.env(k, v);
+    }
+    cmd.output().expect("spawn repro")
+}
+
+fn read_csvs(dir: &Path) -> Vec<(String, Vec<u8>)> {
+    let mut files: Vec<(String, Vec<u8>)> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "csv"))
+        .map(|p| {
+            (
+                p.file_name().unwrap().to_string_lossy().into_owned(),
+                std::fs::read(&p).unwrap(),
+            )
+        })
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn kill_and_resume_is_byte_identical_across_job_counts() {
+    for jobs in ["1", "4"] {
+        let base = tmpdir(&format!("base_j{jobs}"));
+        let clean_csv = base.join("clean-csv");
+        let res_csv = base.join("res-csv");
+        let ck = base.join("ck");
+        std::fs::create_dir_all(&clean_csv).unwrap();
+        std::fs::create_dir_all(&res_csv).unwrap();
+
+        // Uninterrupted reference run.
+        let clean = run(
+            &[
+                "all", "--scale", "test", "--seed", "42", "--jobs", jobs,
+                "--csv", clean_csv.to_str().unwrap(),
+            ],
+            &[],
+        );
+        assert!(clean.status.success(), "clean run failed: {clean:?}");
+        assert!(!clean.stdout.is_empty());
+
+        // Same campaign, cancelled after 3 finalized experiments.
+        let interrupted = run(
+            &[
+                "all", "--scale", "test", "--seed", "42", "--jobs", jobs,
+                "--csv", res_csv.to_str().unwrap(),
+                "--checkpoint", ck.to_str().unwrap(),
+            ],
+            &[("BB_REPRO_UNIT_LIMIT", "3")],
+        );
+        assert_eq!(
+            interrupted.status.code(),
+            Some(130),
+            "interrupted run must exit 130: {interrupted:?}"
+        );
+        assert!(
+            interrupted.stdout.is_empty(),
+            "interrupted run must print nothing on stdout"
+        );
+        let stderr = String::from_utf8_lossy(&interrupted.stderr);
+        assert!(
+            stderr.contains("=== INTERRUPTED (resumable) ==="),
+            "missing interrupt block:\n{stderr}"
+        );
+        assert!(ck.join("checkpoint.bbck").exists(), "manifest not flushed");
+        assert!(
+            !ck.join("checkpoint.bbck.tmp").exists(),
+            "tmp file must not survive the atomic rename"
+        );
+
+        // Resume: replays completed units, runs the rest, byte-identical.
+        let resumed = run(
+            &[
+                "all", "--scale", "test", "--seed", "42", "--jobs", jobs,
+                "--csv", res_csv.to_str().unwrap(),
+                "--resume", ck.to_str().unwrap(),
+            ],
+            &[],
+        );
+        assert!(resumed.status.success(), "resume failed: {resumed:?}");
+        let resumed_err = String::from_utf8_lossy(&resumed.stderr);
+        assert!(
+            resumed_err.contains("[repro] resuming:"),
+            "resume must report replayed units:\n{resumed_err}"
+        );
+        assert_eq!(
+            clean.stdout, resumed.stdout,
+            "resumed stdout differs from uninterrupted run (jobs {jobs})"
+        );
+        let clean_files = read_csvs(&clean_csv);
+        let resumed_files = read_csvs(&res_csv);
+        assert_eq!(clean_files.len(), 5, "expected fig1..fig5 exports");
+        assert_eq!(
+            clean_files, resumed_files,
+            "resumed CSV exports differ from uninterrupted run (jobs {jobs})"
+        );
+
+        std::fs::remove_dir_all(&base).ok();
+    }
+}
+
+#[test]
+fn resume_after_full_completion_is_pure_replay() {
+    let base = tmpdir("fullreplay");
+    let ck = base.join("ck");
+
+    let first = run(
+        &[
+            "fig1", "--scale", "test", "--seed", "42",
+            "--checkpoint", ck.to_str().unwrap(),
+        ],
+        &[],
+    );
+    assert!(first.status.success(), "{first:?}");
+
+    let replayed = run(
+        &[
+            "fig1", "--scale", "test", "--seed", "42",
+            "--resume", ck.to_str().unwrap(),
+        ],
+        &[],
+    );
+    assert!(replayed.status.success(), "{replayed:?}");
+    assert_eq!(first.stdout, replayed.stdout);
+    let stderr = String::from_utf8_lossy(&replayed.stderr);
+    assert!(
+        !stderr.contains("building"),
+        "pure replay must not rebuild any world:\n{stderr}"
+    );
+
+    std::fs::remove_dir_all(&base).ok();
+}
+
+#[test]
+fn stale_checkpoint_is_rejected_not_reused() {
+    let base = tmpdir("stale");
+    let ck = base.join("ck");
+
+    let seeded = run(
+        &[
+            "calib", "--scale", "test", "--seed", "42",
+            "--checkpoint", ck.to_str().unwrap(),
+        ],
+        &[],
+    );
+    assert!(seeded.status.success(), "{seeded:?}");
+
+    // Wrong seed.
+    let wrong_seed = run(
+        &[
+            "calib", "--scale", "test", "--seed", "43",
+            "--resume", ck.to_str().unwrap(),
+        ],
+        &[],
+    );
+    assert_eq!(wrong_seed.status.code(), Some(2), "{wrong_seed:?}");
+    assert!(wrong_seed.stdout.is_empty());
+    let err = String::from_utf8_lossy(&wrong_seed.stderr);
+    assert!(err.contains("seed mismatch"), "{err}");
+    assert!(err.contains("stale"), "{err}");
+
+    // Wrong scale.
+    let wrong_scale = run(
+        &[
+            "calib", "--scale", "full", "--seed", "42",
+            "--resume", ck.to_str().unwrap(),
+        ],
+        &[],
+    );
+    assert_eq!(wrong_scale.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&wrong_scale.stderr).contains("scale mismatch"));
+
+    // Wrong experiment selection.
+    let wrong_exp = run(
+        &[
+            "fig1", "--scale", "test", "--seed", "42",
+            "--resume", ck.to_str().unwrap(),
+        ],
+        &[],
+    );
+    assert_eq!(wrong_exp.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&wrong_exp.stderr).contains("experiments mismatch"));
+
+    // Wrong code-schema version: tamper the manifest's header line as a
+    // stand-in for "written by an older build".
+    let manifest = ck.join("checkpoint.bbck");
+    let text = std::fs::read(&manifest).unwrap();
+    let patched = String::from_utf8(text)
+        .unwrap()
+        .replacen("code_schema ", "code_schema 99", 1);
+    std::fs::write(&manifest, patched).unwrap();
+    let wrong_schema = run(
+        &[
+            "calib", "--scale", "test", "--seed", "42",
+            "--resume", ck.to_str().unwrap(),
+        ],
+        &[],
+    );
+    assert_eq!(wrong_schema.status.code(), Some(2), "{wrong_schema:?}");
+    let err = String::from_utf8_lossy(&wrong_schema.stderr);
+    assert!(err.contains("code_schema"), "{err}");
+
+    // Truncated/corrupt manifest: also rejected, exit 2.
+    std::fs::write(&manifest, b"bbck/v1\nseed 42\n").unwrap();
+    let corrupt = run(
+        &[
+            "calib", "--scale", "test", "--seed", "42",
+            "--resume", ck.to_str().unwrap(),
+        ],
+        &[],
+    );
+    assert_eq!(corrupt.status.code(), Some(2), "{corrupt:?}");
+
+    // Missing manifest directory.
+    let missing = run(
+        &[
+            "calib", "--scale", "test", "--seed", "42",
+            "--resume", base.join("nonexistent").to_str().unwrap(),
+        ],
+        &[],
+    );
+    assert_eq!(missing.status.code(), Some(2), "{missing:?}");
+
+    std::fs::remove_dir_all(&base).ok();
+}
+
+#[test]
+fn transient_poison_recovers_via_supervised_retry() {
+    // fig5 panics on its first two attempts, succeeds on the third: the
+    // supervisor absorbs both panics, and the final output is identical to
+    // an unpoisoned run — retries are invisible in stdout.
+    let clean = run(&["fig5", "--scale", "test", "--seed", "42"], &[]);
+    assert!(clean.status.success(), "{clean:?}");
+
+    let healed = run(
+        &["fig5", "--scale", "test", "--seed", "42"],
+        &[("BB_REPRO_POISON", "fig5:2")],
+    );
+    assert!(
+        healed.status.success(),
+        "retry should recover a transient poison: {healed:?}"
+    );
+    assert_eq!(clean.stdout, healed.stdout);
+
+    // A persistent poison still fails after the retry budget.
+    let dead = run(
+        &["fig5", "--scale", "test", "--seed", "42"],
+        &[("BB_REPRO_POISON", "fig5")],
+    );
+    assert_eq!(dead.status.code(), Some(1), "{dead:?}");
+    let err = String::from_utf8_lossy(&dead.stderr);
+    assert!(err.contains("=== EXPERIMENT FAILED: fig5 ==="), "{err}");
+}
+
+#[test]
+fn interrupt_without_checkpoint_discards_and_says_so() {
+    let out = run(
+        &["all", "--scale", "test", "--seed", "42"],
+        &[("BB_REPRO_UNIT_LIMIT", "1")],
+    );
+    assert_eq!(out.status.code(), Some(130), "{out:?}");
+    assert!(out.stdout.is_empty());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("=== INTERRUPTED ==="), "{err}");
+    assert!(!err.contains("resumable"), "{err}");
+}
