@@ -51,6 +51,10 @@ impl RouteCacheStats {
 pub struct FaultStats {
     /// Probe samples lost to injected loss, timeouts, or route churn.
     pub samples_lost: u64,
+    /// Of `samples_lost`, attempts censored by the measurement timeout —
+    /// split out so a timeout preset quietly eating legitimate long-haul
+    /// RTTs is visible in the report, not folded into generic loss.
+    pub timeouts: u64,
     /// Retransmissions attempted after a lost sample.
     pub retries: u64,
     /// Measurement windows dropped for falling below the minimum-sample
@@ -203,8 +207,9 @@ impl PerfReport {
         ));
 
         out.push_str(&format!(
-            "  \"faults\": {{\"samples_lost\": {}, \"retries\": {}, \"windows_dropped\": {}, \"panics_isolated\": {}}},\n",
+            "  \"faults\": {{\"samples_lost\": {}, \"timeouts\": {}, \"retries\": {}, \"windows_dropped\": {}, \"panics_isolated\": {}}},\n",
             self.faults.samples_lost,
+            self.faults.timeouts,
             self.faults.retries,
             self.faults.windows_dropped,
             self.faults.panics_isolated
@@ -325,6 +330,7 @@ mod tests {
             },
             faults: FaultStats {
                 samples_lost: 7,
+                timeouts: 2,
                 retries: 3,
                 windows_dropped: 1,
                 panics_isolated: 0,
@@ -372,6 +378,7 @@ mod tests {
             "\"hit_rate\": 0.25",
             "\"faults\": {",
             "\"samples_lost\": 7",
+            "\"timeouts\": 2",
             "\"retries\": 3",
             "\"windows_dropped\": 1",
             "\"panics_isolated\": 0",

@@ -97,11 +97,9 @@ pub fn analyze(
         // Degraded windows carry NaN medians; a window is usable only when
         // the preferred route and at least one alternate survived.
         let preferred = row.route_median_ms[0];
-        let best_alt = row.route_median_ms[1..]
-            .iter()
-            .copied()
-            .filter(|m| m.is_finite())
-            .fold(f64::INFINITY, f64::min);
+        // min_finite yields NaN (never ±inf) when every alternate degraded,
+        // so the is_finite gate below is the single NaN-policy check.
+        let best_alt = bb_stats::min_finite(row.route_median_ms[1..].iter().copied());
         if !preferred.is_finite() || !best_alt.is_finite() {
             continue;
         }

@@ -68,17 +68,7 @@ impl BeaconMeasurement {
     /// fault plane carry `NaN` and are skipped; with *every* unicast beacon
     /// lost this is `NaN` (and the measurement is incomplete).
     pub fn best_unicast_ms(&self) -> f64 {
-        let best = self
-            .unicast_rtt_ms
-            .iter()
-            .map(|&(_, r)| r)
-            .filter(|r| r.is_finite())
-            .fold(f64::INFINITY, f64::min);
-        if best.is_finite() {
-            best
-        } else {
-            f64::NAN
-        }
+        bb_stats::min_finite(self.unicast_rtt_ms.iter().map(|&(_, r)| r))
     }
 
     /// Whether both sides of the comparison survived the fault plane: the

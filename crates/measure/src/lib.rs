@@ -126,6 +126,10 @@ pub use spray::{spray, SprayConfig, SprayDataset, WindowRow};
 pub(crate) struct FaultTally {
     /// Probe attempts that never reported (lost in flight or timed out).
     pub lost: usize,
+    /// Of `lost`, attempts censored by the measurement timeout — split out
+    /// so a timeout preset eating legitimate long-haul RTTs shows up in
+    /// the telemetry rather than hiding inside generic loss.
+    pub timeouts: usize,
     /// Retry attempts issued after a lost/timed-out probe.
     pub retries: usize,
     /// Aggregation windows flagged degraded (below min-sample threshold or
@@ -136,6 +140,7 @@ pub(crate) struct FaultTally {
 impl FaultTally {
     pub fn merge(&mut self, other: FaultTally) {
         self.lost += other.lost;
+        self.timeouts += other.timeouts;
         self.retries += other.retries;
         self.dropped += other.dropped;
     }
@@ -144,6 +149,7 @@ impl FaultTally {
     /// active, so fault-free runs keep their counter set unchanged.
     pub fn publish(&self) {
         bb_exec::timing::add_count("faults:samples_lost", self.lost);
+        bb_exec::timing::add_count("faults:timeouts", self.timeouts);
         bb_exec::timing::add_count("faults:retries", self.retries);
         bb_exec::timing::add_count("faults:windows_dropped", self.dropped);
     }
@@ -170,6 +176,7 @@ pub(crate) fn faulted_attempts(
         let rtt = attempt_rtt(attempt);
         if fp.timed_out(rtt) {
             tally.lost += 1;
+            tally.timeouts += 1;
             continue;
         }
         return Some(rtt);

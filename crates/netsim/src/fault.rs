@@ -115,10 +115,18 @@ impl FaultConfig {
     }
 
     /// Chaos-drill intensity (the `--faults heavy` preset).
+    ///
+    /// The timeout is tight but sits above `MAX_BASE_RTT_MS`, the worst
+    /// intercontinental *base* RTT the topologies produce (circuitous
+    /// hot-potato paths at Large scale reach ~513 ms before congestion).
+    /// A timeout below that ceiling would silently censor legitimate
+    /// long-haul paths — geography, not faults — biasing the Fig 3/5
+    /// tails; 300 ms did exactly that until this was derived from the
+    /// bound. Heavy timeouts therefore censor congestion spikes only.
     pub fn heavy() -> Self {
         Self {
             probe_loss: 0.15,
-            timeout_ms: 300.0,
+            timeout_ms: MAX_BASE_RTT_MS + 50.0,
             max_retries: 1,
             retry_backoff_min: 2.0,
             churn_events_per_day: 2.0,
@@ -172,8 +180,15 @@ impl FaultPlane {
 
     /// Whether attempt `attempt` of the probe identified by `stream` is
     /// lost in flight. Pure function of `(plane seed, stream, attempt)`.
+    ///
+    /// The attempt runs through its own full SplitMix64 round (tagged to
+    /// stay disjoint from churn draws) chained with the stream's, rather
+    /// than being packed into the top key bits — packing meant a stream
+    /// differing only in bits 48.. replayed another stream's retry draws,
+    /// the same aliasing class 5cc3617 fixed in spray's session RNG.
     pub fn lost(&self, stream: u64, attempt: u32) -> bool {
-        u01(mix(self.seed ^ mix(stream ^ ((attempt as u64) << 48)))) < self.cfg.probe_loss
+        let per_stream = mix(self.seed ^ mix(stream));
+        u01(mix(per_stream ^ mix(LOSS_TAG ^ attempt as u64))) < self.cfg.probe_loss
     }
 
     /// Whether a sampled RTT exceeds the measurement timeout.
@@ -252,6 +267,20 @@ fn mix(mut z: u64) -> u64 {
 /// Domain-separation tag keeping churn draws disjoint from loss draws.
 const CHURN_TAG: u64 = 0x_c4ac_0de5;
 
+/// Domain-separation tag for per-attempt loss draws.
+const LOSS_TAG: u64 = 0x_10_55;
+
+/// Worst-case *base* (uncongested) path RTT any built topology produces,
+/// ms: an antipodal great-circle (~20,000 km) at fiber speed gives a
+/// ~200 ms RTT, and hot-potato exit policies inflate the realized
+/// waypoint walk well past the geodesic (§2.1's "circuitous routes") —
+/// an empirical sweep of spray routes across scales and seeds tops out
+/// at ~513 ms (Large scale), so 600 ms leaves margin for unlucky seeds.
+/// Fault presets must keep `timeout_ms` above this so timeouts censor
+/// congestion, never geography. `bb-audit`'s `rtt.censoring` rule checks
+/// the realized paths against the active timeout at run time.
+pub const MAX_BASE_RTT_MS: f64 = 600.0;
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -311,6 +340,32 @@ mod tests {
             .filter(|&k| p.lost(k, 0))
             .any(|k| !p.lost(k, 1));
         assert!(recovered, "no stream ever recovers on retry");
+    }
+
+    #[test]
+    fn high_key_bits_do_not_alias_attempts() {
+        let p = plane();
+        // Pre-fix, the attempt was packed as `stream ^ (attempt << 48)`,
+        // so lost(s ^ 1<<48, 0) was *literally* lost(s, 1): streams
+        // differing only in the top 16 key bits replayed another stream's
+        // retry draws. The two families must now disagree somewhere.
+        let aliased = (0..4096u64).all(|s| p.lost(s ^ (1 << 48), 0) == p.lost(s, 1));
+        assert!(!aliased, "attempt draws still alias the top key bits");
+    }
+
+    #[test]
+    fn presets_do_not_censor_base_rtts() {
+        // Timeouts must only ever censor congestion, never geography: both
+        // presets sit above the worst uncongested path RTT the topologies
+        // can produce.
+        for cfg in [FaultConfig::light(), FaultConfig::heavy()] {
+            assert!(
+                cfg.timeout_ms > MAX_BASE_RTT_MS,
+                "timeout {} censors legitimate base RTTs (max {})",
+                cfg.timeout_ms,
+                MAX_BASE_RTT_MS
+            );
+        }
     }
 
     #[test]

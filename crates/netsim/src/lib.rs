@@ -42,7 +42,7 @@ pub use congestion::{
 };
 pub use plan::{CongestionPlan, PathPlan, UtilProbe};
 pub use failure::{outage_races_closed, FailureConfig, FailureKey, FailureModel, Outage};
-pub use fault::{churn_races_closed, FaultConfig, FaultLevel, FaultPlane};
+pub use fault::{churn_races_closed, FaultConfig, FaultLevel, FaultPlane, MAX_BASE_RTT_MS};
 pub use goodput::goodput_mbps;
 pub use path::{realize_path, RealizeSpec, RealizedPath, Segment, TracerouteHop};
 pub use rtt::{path_base_rtt_ms, path_rtt_ms, sample_min_rtt, RttModel};

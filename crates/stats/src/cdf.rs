@@ -37,16 +37,24 @@ impl Cdf {
         let mut values = Vec::with_capacity(pairs.len());
         let mut cum_frac = Vec::with_capacity(pairs.len());
         let mut cum = 0.0;
+        let mut prev = 0.0;
         for &(v, w) in &pairs {
             cum += w;
+            // Clamp every entry (not just the last) against floating-point
+            // drift: a partial sum landing above `total` would otherwise
+            // yield an intermediate fraction > 1.0, which turns
+            // `fraction_geq`/`Ccdf::fraction_gt` negative. Also enforce
+            // monotonicity so queries binary-searching `cum_frac` stay
+            // well-defined under any summation order.
+            let frac = (cum / total).min(1.0).max(prev);
+            prev = frac;
             if values.last() == Some(&v) {
-                *cum_frac.last_mut().unwrap() = cum / total;
+                *cum_frac.last_mut().unwrap() = frac;
             } else {
                 values.push(v);
-                cum_frac.push(cum / total);
+                cum_frac.push(frac);
             }
         }
-        // Guard against floating-point drift.
         *cum_frac.last_mut().unwrap() = 1.0;
         Some(Cdf { values, cum_frac })
     }

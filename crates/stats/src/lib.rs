@@ -23,7 +23,7 @@ pub use bootstrap::{bootstrap_median_ci, ConfidenceInterval};
 pub use cdf::{Ccdf, Cdf};
 pub use histogram::Histogram;
 pub use quantile::{
-    median, median_unsorted, quantile, quantile_select, quantile_unsorted, weighted_median,
-    weighted_quantile,
+    median, median_unsorted, min_finite, quantile, quantile_select, quantile_unsorted,
+    weighted_median, weighted_quantile,
 };
 pub use summary::Summary;

@@ -133,6 +133,19 @@ pub fn weighted_median(items: &[(f64, f64)]) -> Option<f64> {
     weighted_quantile(items, 0.5)
 }
 
+/// Minimum of the finite entries; `NaN` when none are finite.
+///
+/// The figure-feeding NaN policy in one place: degraded samples (`NaN`)
+/// and sentinel infinities never make it into an aggregate. Callers fold
+/// candidate RTTs through this and gate on `is_finite()` — the result is
+/// either a real measured value or `NaN`, never `±inf`.
+pub fn min_finite(values: impl IntoIterator<Item = f64>) -> f64 {
+    values.into_iter().filter(|v| v.is_finite()).fold(
+        f64::NAN,
+        |acc, v| if acc.is_finite() && acc <= v { acc } else { v },
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

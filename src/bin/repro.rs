@@ -6,14 +6,25 @@
 //!       [--checkpoint DIR] [--resume DIR]
 //!
 //! EXPERIMENT: all (default) | fig1 | fig2 | s311 | fig3 | fig4 | fig5 |
-//!             calib | goodput | xpeer | xgroom | xsites | xonenet | xsplit
+//!             calib | goodput | xpeer | xgroom | xsites | xonenet | xsplit |
+//!             audit
 //! ```
 //!
 //! Exit codes: 0 = every selected experiment succeeded; 1 = a runtime
 //! failure (an experiment errored or panicked — with `--keep-going` the
-//! survivors still print); 2 = usage error (bad flag value, unknown
-//! experiment, stale checkpoint); 130 = interrupted (SIGINT/SIGTERM drain
-//! — resumable when `--checkpoint` was set).
+//! survivors still print — or an `audit` rule violated); 2 = usage error
+//! (bad flag value, unknown experiment, conflicting flags, stale
+//! checkpoint); 130 = interrupted (SIGINT/SIGTERM drain — resumable when
+//! `--checkpoint` was set).
+//!
+//! `repro audit` builds the same shared worlds and studies as the figures
+//! and sweeps them through `bb-audit`'s invariant rules (valley-free
+//! paths, speed-of-light RTT bounds, timeout censoring, CDF monotonicity,
+//! weight conservation, coverage accounting, churn-interval shape) plus
+//! three metamorphic relations on `Scale::Test` slices (faults-off
+//! equivalence, jobs independence, ablation directionality).
+//! `BB_AUDIT_VIOLATE=<rule>` injects a corrupt item into that rule's input
+//! stream so CI can prove each rule fires.
 //!
 //! Experiments run concurrently on up to `--jobs` workers, but stdout is
 //! assembled in a fixed order from per-experiment buffers, and every
@@ -202,7 +213,9 @@ fn parse_args() -> Args {
                      [--faults off|light|heavy] [--keep-going] \
                      [--checkpoint DIR] [--resume DIR]\n\
                      experiments: all fig1 fig2 s311 fig3 fig4 fig5 calib goodput \
-                     xpeer xgroom xsites xonenet xsplit xablate xavail xhybrid xfabric xecs\n\
+                     xpeer xgroom xsites xonenet xsplit xablate xavail xhybrid xfabric xecs audit\n\
+                     audit      sweep the built worlds and studies through bb-audit's\n\
+                     {:11}invariant rules + metamorphic relations (exit 1 on violation)\n\
                      --jobs N   worker threads (default: available cores); output is\n\
                      {:11}byte-identical for every N\n\
                      --timing   per-experiment wall-clock, sample counters, and cache\n\
@@ -220,13 +233,30 @@ fn parse_args() -> Args {
                      {:11}(stale checkpoints are rejected, exit 2), continue the rest\n\
                      exit codes: 0 ok, 1 runtime failure, 2 usage error, \
                      130 interrupted (resumable)",
-                    "", "", "", "", "", "", "", ""
+                    "", "", "", "", "", "", "", "", ""
                 );
                 std::process::exit(0);
             }
             e => experiment = e.to_string(),
         }
         i += 1;
+    }
+    // Flag-combination conflicts are usage errors (exit 2), never silent
+    // precedence: `--resume DIR` already implies checkpointing back into
+    // DIR, so a *different* `--checkpoint` directory contradicts it.
+    if let (Some(c), Some(r)) = (&checkpoint, &resume) {
+        if c != r {
+            eprintln!(
+                "--checkpoint {} conflicts with --resume {}; --resume already checkpoints back into the same directory",
+                c.display(),
+                r.display()
+            );
+            std::process::exit(2);
+        }
+    }
+    if experiment == "audit" && (checkpoint.is_some() || resume.is_some()) {
+        eprintln!("audit runs standalone and does not support --checkpoint/--resume");
+        std::process::exit(2);
     }
     Args {
         experiment,
@@ -298,6 +328,7 @@ fn perf_report(
             };
             beating_bgp::bench::FaultStats {
                 samples_lost: get("faults:samples_lost"),
+                timeouts: get("faults:timeouts"),
                 retries: get("faults:retries"),
                 windows_dropped: get("faults:windows_dropped"),
                 panics_isolated: beating_bgp::exec::panics_isolated() as u64,
@@ -423,6 +454,58 @@ fn main() {
             .map_err(Clone::clone)
     };
 
+    // --- `repro audit`: invariant + metamorphic sweep, then exit. ---
+    // Runs the same shared worlds/studies the figures are computed from
+    // through bb-audit's rule catalog. Exit 0 = every rule held, exit 1 =
+    // a violation (the build failed its own contract) or a study error.
+    if args.experiment == "audit" {
+        let violate = match std::env::var("BB_AUDIT_VIOLATE") {
+            Ok(rule) => {
+                if !beating_bgp::audit::RULE_NAMES.contains(&rule.as_str()) {
+                    eprintln!(
+                        "BB_AUDIT_VIOLATE: unknown rule {rule:?}; rules: {}",
+                        beating_bgp::audit::RULE_NAMES.join(" ")
+                    );
+                    std::process::exit(2);
+                }
+                Some(rule)
+            }
+            Err(_) => None,
+        };
+        let run = || -> BbResult<beating_bgp::audit::AuditReport> {
+            let egress = egress_study()?;
+            let anycast = anycast_study()?;
+            let tiers = tiers_study()?;
+            Ok(beating_bgp::audit::run_audit(
+                facebook(),
+                egress,
+                microsoft(),
+                anycast,
+                google(),
+                tiers,
+                &beating_bgp::audit::AuditOptions {
+                    seed: args.seed,
+                    scale: args.scale,
+                    faults: args.faults.as_str(),
+                    violate,
+                },
+            ))
+        };
+        match timing::time("audit", run) {
+            Ok(report) => {
+                print!("{}", report.render());
+                if args.timing {
+                    eprint!("{}", timing::report());
+                }
+                std::process::exit(if report.passed() { 0 } else { 1 });
+            }
+            Err(e) => {
+                eprintln!("audit: shared study failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
     // --- Experiments: (name, closure → unit result), in output order. ---
     // Each closure returns the experiment's stdout chunk plus any files it
     // rendered (written immediately, and captured for the checkpoint so a
@@ -433,8 +516,12 @@ fn main() {
             files: Vec::new(),
         })
     };
-    let export_csv = |fname: &str, bytes: Vec<u8>| -> BbResult<Vec<(String, Vec<u8>)>> {
-        let dir = args.csv_dir.as_ref().expect("export_csv requires --csv");
+    // The `--csv` contract is enforced structurally: exporting consumes the
+    // parsed directory by value, so a call without the flag cannot compile
+    // (this used to be a runtime `.expect`, i.e. a panic where the exit-code
+    // contract promises usage errors → 2; flag conflicts are now rejected in
+    // `parse_args` instead).
+    let export_csv = |dir: &std::path::Path, fname: &str, bytes: Vec<u8>| -> BbResult<Vec<(String, Vec<u8>)>> {
         beating_bgp::core::export::write_atomic_bytes(&dir.join(fname), &bytes)?;
         Ok(vec![(fname.to_string(), bytes)])
     };
@@ -448,10 +535,9 @@ fn main() {
             "fig1",
             Box::new(|| {
                 let study = egress_study()?;
-                let files = if args.csv_dir.is_some() {
-                    export_csv("fig1.csv", beating_bgp::core::export::fig1_csv_bytes(&study.fig1))?
-                } else {
-                    Vec::new()
+                let files = match &args.csv_dir {
+                    Some(dir) => export_csv(dir, "fig1.csv", beating_bgp::core::export::fig1_csv_bytes(&study.fig1))?,
+                    None => Vec::new(),
                 };
                 Ok(UnitResult {
                     stdout: format!("{}\n", study.fig1.render()),
@@ -463,10 +549,9 @@ fn main() {
             "fig2",
             Box::new(|| {
                 let study = egress_study()?;
-                let files = if args.csv_dir.is_some() {
-                    export_csv("fig2.csv", beating_bgp::core::export::fig2_csv_bytes(&study.fig2))?
-                } else {
-                    Vec::new()
+                let files = match &args.csv_dir {
+                    Some(dir) => export_csv(dir, "fig2.csv", beating_bgp::core::export::fig2_csv_bytes(&study.fig2))?,
+                    None => Vec::new(),
                 };
                 Ok(UnitResult {
                     stdout: format!("{}\n", study.fig2.render()),
@@ -490,10 +575,9 @@ fn main() {
             "fig3",
             Box::new(|| {
                 let study = anycast_study()?;
-                let files = if args.csv_dir.is_some() {
-                    export_csv("fig3.csv", beating_bgp::core::export::fig3_csv_bytes(&study.fig3))?
-                } else {
-                    Vec::new()
+                let files = match &args.csv_dir {
+                    Some(dir) => export_csv(dir, "fig3.csv", beating_bgp::core::export::fig3_csv_bytes(&study.fig3))?,
+                    None => Vec::new(),
                 };
                 Ok(UnitResult {
                     stdout: format!("{}\n", study.fig3.render()),
@@ -505,10 +589,9 @@ fn main() {
             "fig4",
             Box::new(|| {
                 let study = anycast_study()?;
-                let files = if args.csv_dir.is_some() {
-                    export_csv("fig4.csv", beating_bgp::core::export::fig4_csv_bytes(&study.fig4))?
-                } else {
-                    Vec::new()
+                let files = match &args.csv_dir {
+                    Some(dir) => export_csv(dir, "fig4.csv", beating_bgp::core::export::fig4_csv_bytes(&study.fig4))?,
+                    None => Vec::new(),
                 };
                 Ok(UnitResult {
                     stdout: format!("{}\n", study.fig4.render()),
@@ -520,10 +603,9 @@ fn main() {
             "fig5",
             Box::new(|| {
                 let study = tiers_study()?;
-                let files = if args.csv_dir.is_some() {
-                    export_csv("fig5.csv", beating_bgp::core::export::fig5_csv_bytes(&study.fig5))?
-                } else {
-                    Vec::new()
+                let files = match &args.csv_dir {
+                    Some(dir) => export_csv(dir, "fig5.csv", beating_bgp::core::export::fig5_csv_bytes(&study.fig5))?,
+                    None => Vec::new(),
                 };
                 Ok(UnitResult {
                     stdout: format!("{}\n", study.fig5.render()),

@@ -43,8 +43,10 @@
 //! | [`cdn`] | `bb-cdn` | provider: PoPs, WAN, anycast, DNS, egress, tiers |
 //! | [`measure`] | `bb-measure` | spraying, beacons, vantage-point probes |
 //! | [`core`] | `bb-core` | the three studies + extensions + figures |
+//! | [`audit`] | `bb-audit` | invariant rules + metamorphic relations (`repro audit`) |
 //! | [`bench`] | `bb-bench` | perf-report telemetry (`--timing-json`) |
 
+pub use bb_audit as audit;
 pub use bb_bench as bench;
 pub use bb_bgp as bgp;
 pub use bb_cdn as cdn;

@@ -79,3 +79,41 @@ fn unwritable_csv_dir_exits_2() {
 fn unknown_experiment_exits_2() {
     assert_usage_error(&["figx"], "unknown experiment 'figx'");
 }
+
+#[test]
+fn conflicting_checkpoint_and_resume_exits_2() {
+    // Silently preferring one directory over the other loses checkpoints;
+    // disagreeing flags are a usage error, not a precedence rule.
+    assert_usage_error(
+        &["all", "--checkpoint", "/tmp/bb_ck_a", "--resume", "/tmp/bb_ck_b"],
+        "conflicts with --resume",
+    );
+}
+
+#[test]
+fn audit_with_checkpoint_or_resume_exits_2() {
+    assert_usage_error(
+        &["audit", "--checkpoint", "/tmp/bb_ck_a"],
+        "does not support --checkpoint/--resume",
+    );
+    assert_usage_error(
+        &["audit", "--resume", "/tmp/bb_ck_a"],
+        "does not support --checkpoint/--resume",
+    );
+}
+
+#[test]
+fn unknown_audit_violate_rule_exits_2() {
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["audit", "--scale", "test"])
+        .env("BB_AUDIT_VIOLATE", "no.such.rule")
+        .output()
+        .expect("spawn repro");
+    assert_eq!(out.status.code(), Some(2), "{:?}", out.status.code());
+    assert!(out.stdout.is_empty(), "printed to stdout");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        stderr.contains("unknown rule \"no.such.rule\""),
+        "stderr missing rule diagnostic:\n{stderr}"
+    );
+}

@@ -145,6 +145,105 @@ proptest! {
         prop_assert!(checked > 0, "no realizable path in topology {}", topo_seed);
     }
 
+    /// Quantile edge cases: q=0 is the minimum, q=1 is the maximum, equal
+    /// weights reduce the weighted quantile to the unweighted one, and
+    /// duplicate-heavy inputs stay within the data range. `quantile_select`
+    /// agrees with the sorting implementation at the extremes.
+    #[test]
+    fn quantile_edge_cases(
+        values in prop::collection::vec(-1e4f64..1e4, 1..100),
+        dup in -1e4f64..1e4,
+        ndup in 0usize..50,
+        q in 0.0f64..1.0,
+    ) {
+        use beating_bgp::stats::{quantile_select, quantile_unsorted, weighted_quantile};
+
+        // Duplicate-heavy input: append the same value many times.
+        let mut values = values;
+        values.extend(std::iter::repeat(dup).take(ndup));
+        let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+
+        let weighted: Vec<(f64, f64)> = values.iter().map(|&v| (v, 1.0)).collect();
+        prop_assert_eq!(weighted_quantile(&weighted, 0.0).unwrap(), lo);
+        prop_assert_eq!(weighted_quantile(&weighted, 1.0).unwrap(), hi);
+        prop_assert_eq!(quantile_unsorted(&values, 0.0).unwrap(), lo);
+        prop_assert_eq!(quantile_unsorted(&values, 1.0).unwrap(), hi);
+        prop_assert_eq!(quantile_select(&mut values.clone(), 0.0), lo);
+        prop_assert_eq!(quantile_select(&mut values.clone(), 1.0), hi);
+
+        // With equal weights the step-function weighted quantile returns an
+        // actual data point whose rank brackets the interpolating unweighted
+        // quantile to within two order statistics.
+        let vw = weighted_quantile(&weighted, q).unwrap();
+        prop_assert!(values.contains(&vw), "weighted quantile {vw} not a data point");
+        let n = values.len() as f64;
+        let lo_b = quantile_unsorted(&values, (q - 2.0 / n).max(0.0)).unwrap();
+        let hi_b = quantile_unsorted(&values, (q + 2.0 / n).min(1.0)).unwrap();
+        prop_assert!(
+            (lo_b..=hi_b).contains(&vw),
+            "weighted {vw} outside unweighted bracket [{lo_b}, {hi_b}] at q={q}"
+        );
+        prop_assert!((lo..=hi).contains(&vw));
+        let vs = quantile_select(&mut values.clone(), q);
+        prop_assert!((lo..=hi).contains(&vs));
+    }
+
+    /// `min_finite` (the NaN policy behind `best_unicast_ms` and the
+    /// egress study's best-alternate pick) ignores non-finite entries,
+    /// returns NaN — never ±inf — when nothing finite remains, and equals
+    /// the plain minimum of the finite subset otherwise.
+    #[test]
+    fn min_finite_nan_policy(
+        finite in prop::collection::vec(-1e4f64..1e4, 0..50),
+        nans in 0usize..8,
+        infs in 0usize..4,
+    ) {
+        use beating_bgp::stats::min_finite;
+
+        let mut mixed: Vec<f64> = finite.clone();
+        mixed.extend(std::iter::repeat(f64::NAN).take(nans));
+        mixed.extend(std::iter::repeat(f64::INFINITY).take(infs));
+        // Deterministic interleave so the non-finite entries are not all
+        // at the tail.
+        let shift = nans.min(mixed.len());
+        mixed.rotate_right(shift);
+
+        let got = min_finite(mixed.iter().copied());
+        if finite.is_empty() {
+            prop_assert!(got.is_nan(), "all-NaN input produced {got}");
+        } else {
+            let want = finite.iter().copied().fold(f64::INFINITY, f64::min);
+            prop_assert_eq!(got, want);
+        }
+        // Never ±inf, no matter the mix.
+        prop_assert!(!got.is_infinite(), "min_finite returned {got}");
+    }
+
+    /// CDF tail queries never leave [0, 1] even for weight distributions
+    /// prone to floating-point drift in the cumulative sum — so
+    /// `fraction_gt ≥ 0` and `fraction_leq ≤ 1` hold at every probe.
+    #[test]
+    fn cdf_fractions_bounded_under_drift(
+        values in prop::collection::vec((-1e4f64..1e4, 1e-12f64..1e12), 1..300),
+        probes in prop::collection::vec(-2e4f64..2e4, 1..10),
+    ) {
+        use beating_bgp::stats::Ccdf;
+
+        let cdf = Cdf::from_weighted(&values).unwrap();
+        let ccdf = Ccdf::from_weighted(&values).unwrap();
+        for &x in &probes {
+            let leq = cdf.fraction_leq(x);
+            prop_assert!((0.0..=1.0).contains(&leq), "fraction_leq({x}) = {leq}");
+            let gt = ccdf.fraction_gt(x);
+            prop_assert!((0.0..=1.0).contains(&gt), "fraction_gt({x}) = {gt}");
+        }
+        // Max of the support is ≤ everything kept: the last cumulative
+        // fraction is exactly 1, so nothing is "above" the distribution.
+        prop_assert!(ccdf.fraction_gt(cdf.max()) <= 0.0 + 1e-12);
+        prop_assert!(cdf.fraction_leq(cdf.max()) >= 1.0 - 1e-12);
+    }
+
     /// Goodput is monotone: worse RTT or worse utilization never increases
     /// throughput.
     #[test]

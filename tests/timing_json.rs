@@ -39,6 +39,7 @@ fn timing_json_emits_schema_v1() {
         "\"hit_rate\":",
         "\"faults\": {",
         "\"samples_lost\":",
+        "\"timeouts\":",
         "\"retries\":",
         "\"windows_dropped\":",
         "\"panics_isolated\":",
@@ -49,7 +50,7 @@ fn timing_json_emits_schema_v1() {
 
     // A fault-free run reports zero fault activity.
     assert!(
-        j.contains("\"faults\": {\"samples_lost\": 0, \"retries\": 0, \"windows_dropped\": 0, \"panics_isolated\": 0}"),
+        j.contains("\"faults\": {\"samples_lost\": 0, \"timeouts\": 0, \"retries\": 0, \"windows_dropped\": 0, \"panics_isolated\": 0}"),
         "fault-free run should report zero fault activity:\n{j}"
     );
 
