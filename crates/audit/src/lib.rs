@@ -9,8 +9,9 @@
 //! — unit tests only ever see `Scale::Test` worlds. `repro audit` closes
 //! that gap: it sweeps the three built scenarios and their study outputs
 //! through a catalog of named invariant rules, then re-runs cheap
-//! `Scale::Test` slices through three metamorphic relations (faults-off
-//! equivalence, jobs independence, ablation directionality).
+//! `Scale::Test` slices through four metamorphic relations (faults-off
+//! equivalence, jobs independence, ablation directionality, shard
+//! independence).
 //!
 //! Every rule is individually reportable; a violation names the rule, the
 //! offending item, and exits the `repro audit` run with code 1 (the
@@ -45,6 +46,7 @@ pub const RULE_NAMES: &[&str] = &[
     "meta.faults_off",
     "meta.jobs_independent",
     "meta.ablation_direction",
+    "meta.shard_independent",
 ];
 
 /// Audit configuration.
@@ -215,6 +217,7 @@ pub fn run_audit(
         faults_off_relation(opts.seed, poison("meta.faults_off")),
         jobs_relation(opts.seed, poison("meta.jobs_independent")),
         ablation_relation(opts.seed, poison("meta.ablation_direction")),
+        shard_relation(opts.seed, poison("meta.shard_independent")),
     ];
     AuditReport {
         seed: opts.seed,
@@ -793,6 +796,62 @@ fn ablation_relation(seed: u64, poison: bool) -> RuleReport {
     rule.finish()
 }
 
+/// `meta.shard_independent`: a campaign split across shard checkpoints and
+/// stitched back through `merge_shards` must reproduce the unsharded
+/// manifest byte-for-byte — the sharding plane may move work between
+/// processes, never change bytes. The relation builds three units from a
+/// real Test-scale spray, shards them with a deliberate overlap (so the
+/// duplicate-agreement check is exercised, not just coverage), merges, and
+/// compares encodings.
+fn shard_relation(seed: u64, poison: bool) -> RuleReport {
+    use bb_core::checkpoint::{merge_shards, CampaignKey, Checkpoint, UnitResult};
+    let mut rule = Rule::new("meta.shard_independent");
+    let s = Scenario::build(ScenarioConfig::facebook(seed ^ 0x_5a4d, Scale::Test));
+    let ds = bb_measure::spray(
+        &s.topo,
+        &s.provider,
+        &s.workload,
+        &s.congestion,
+        None,
+        &mr_spray_cfg(),
+    );
+    let n = ds.rows.len();
+    rule.check(n >= 3, || format!("spray slice too small to shard: {n} rows"));
+    let unit = |lo: usize, hi: usize| UnitResult {
+        stdout: format!("{:?}\n", &ds.rows[lo.min(n)..hi.min(n)]),
+        files: vec![(format!("slice_{lo}.csv"), format!("{lo}..{hi}").into_bytes())],
+    };
+    let key = CampaignKey::new(seed, "test", "off", "u0,u1,u2", true);
+    let mut full = Checkpoint::new(key.clone());
+    full.record("u0", unit(0, n / 3));
+    full.record("u1", unit(n / 3, 2 * n / 3));
+    full.record("u2", unit(2 * n / 3, n));
+    full.windows_done = 3;
+
+    let mut a = Checkpoint::new(key.clone());
+    a.record("u0", full.units["u0"].clone());
+    a.record("u1", full.units["u1"].clone());
+    a.windows_done = 2;
+    let mut b = Checkpoint::new(key);
+    // `u1` appears in both shards: the merge must verify the copies agree
+    // byte-for-byte. The poison corrupts exactly this duplicated copy.
+    let mut dup = full.units["u1"].clone();
+    if poison {
+        dup.stdout.push('x');
+    }
+    b.record("u1", dup);
+    b.record("u2", full.units["u2"].clone());
+    b.windows_done = 1;
+
+    match merge_shards(&[a, b]) {
+        Ok(merged) => rule.check(merged.encode() == full.encode(), || {
+            "merged shard manifest differs from the unsharded manifest".to_string()
+        }),
+        Err(e) => rule.check(false, || format!("shard merge rejected: {e}")),
+    }
+    rule.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -803,7 +862,7 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), RULE_NAMES.len());
-        assert_eq!(RULE_NAMES.len(), 10);
+        assert_eq!(RULE_NAMES.len(), 11);
     }
 
     #[test]
@@ -843,12 +902,14 @@ mod tests {
     fn metamorphic_relations_hold_on_test_slice() {
         assert!(faults_off_relation(11, false).passed());
         assert!(jobs_relation(11, false).passed());
+        assert!(shard_relation(11, false).passed());
     }
 
     #[test]
     fn metamorphic_poison_fires() {
         assert!(!faults_off_relation(11, true).passed());
         assert!(!jobs_relation(11, true).passed());
+        assert!(!shard_relation(11, true).passed());
     }
 
     #[test]
@@ -892,7 +953,7 @@ mod tests {
         // Poison each invariant rule directly against the shared studies
         // (the metamorphic rules re-run whole Test slices, so their poison
         // path is covered by `metamorphic_poison_fires` above; the binary-
-        // level BB_AUDIT_VIOLATE loop in CI covers all ten end to end).
+        // level BB_AUDIT_VIOLATE loop in CI covers all eleven end to end).
         let poisoned = [
             valley_free_rule(&fb, &egress, true),
             lightspeed_rule(&fb, &egress, &ms, &anycast, &gg, &tiers, true),

@@ -46,6 +46,29 @@ impl RouteCacheStats {
     }
 }
 
+/// Route-cache delta attributed to one experiment: lookups observed while
+/// that experiment's closure was running. Exact at `--jobs 1`; with
+/// concurrent experiments the process-wide counters interleave, so a
+/// lookup lands on whichever closure was on the clock when it happened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExperimentCacheStats {
+    pub experiment: String,
+    pub hits: u64,
+    pub misses: u64,
+}
+
+impl ExperimentCacheStats {
+    /// Hit rate in [0, 1]; 0 when the experiment did no lookups.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
 /// Fault-plane statistics for the run (all zero when `--faults off`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct FaultStats {
@@ -115,6 +138,10 @@ pub struct PerfReport {
     /// (sum of `*:windows` labels).
     pub plan_query_s: f64,
     pub route_cache: RouteCacheStats,
+    /// Per-experiment route-cache deltas, in campaign output order. An
+    /// additive section: consumers of `bb-perf-report/v1` that ignore
+    /// unknown keys keep parsing.
+    pub route_cache_by_experiment: Vec<ExperimentCacheStats>,
     /// Fault-injection telemetry (`--faults light|heavy`, `--keep-going`).
     pub faults: FaultStats,
     /// Supervised-retry telemetry (attempts, recoveries, drain skips).
@@ -205,6 +232,22 @@ impl PerfReport {
             self.route_cache.resident,
             json_f64(self.route_cache.hit_rate())
         ));
+
+        out.push_str("  \"route_cache_by_experiment\": [\n");
+        for (i, e) in self.route_cache_by_experiment.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"experiment\": {}, \"hits\": {}, \"misses\": {}, \"hit_rate\": {}}}",
+                json_str(&e.experiment),
+                e.hits,
+                e.misses,
+                json_f64(e.hit_rate())
+            ));
+            if i + 1 < self.route_cache_by_experiment.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ],\n");
 
         out.push_str(&format!(
             "  \"faults\": {{\"samples_lost\": {}, \"timeouts\": {}, \"retries\": {}, \"windows_dropped\": {}, \"panics_isolated\": {}}},\n",
@@ -328,6 +371,18 @@ mod tests {
                 misses: 30,
                 resident: 30,
             },
+            route_cache_by_experiment: vec![
+                ExperimentCacheStats {
+                    experiment: "fig1".into(),
+                    hits: 10,
+                    misses: 20,
+                },
+                ExperimentCacheStats {
+                    experiment: "fig2".into(),
+                    hits: 0,
+                    misses: 10,
+                },
+            ],
             faults: FaultStats {
                 samples_lost: 7,
                 timeouts: 2,
@@ -376,6 +431,8 @@ mod tests {
             "\"counters\": [",
             "\"route_cache\": {",
             "\"hit_rate\": 0.25",
+            "\"route_cache_by_experiment\": [",
+            "{\"experiment\": \"fig1\", \"hits\": 10, \"misses\": 20, \"hit_rate\": 0.333333}",
             "\"faults\": {",
             "\"samples_lost\": 7",
             "\"timeouts\": 2",

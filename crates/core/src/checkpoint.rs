@@ -333,6 +333,59 @@ impl Checkpoint {
     }
 }
 
+/// Stitch shard checkpoints back into one campaign checkpoint.
+///
+/// Every shard of a `repro all --shard i/N` run writes a standard `bbck/v1`
+/// manifest whose key names the **full** selected experiment list (not the
+/// shard's slice), so shards of the same campaign carry identical keys and
+/// a shard of a *different* campaign can never slip in. The merge enforces:
+///
+/// * all shard keys identical (first mismatching field named),
+/// * units present in more than one shard byte-identical across them,
+/// * together the shards cover every experiment in the key.
+///
+/// The result is exactly the checkpoint a single unsharded `--checkpoint`
+/// run would have written: same key, same units, `windows_done` summed.
+pub fn merge_shards(shards: &[Checkpoint]) -> BbResult<Checkpoint> {
+    let first = shards
+        .first()
+        .ok_or_else(|| BbError::checkpoint("no shard manifests to merge"))?;
+    for s in &shards[1..] {
+        s.validate(&first.key)?;
+    }
+    let mut merged = Checkpoint::new(first.key.clone());
+    for s in shards {
+        merged.windows_done += s.windows_done;
+        for (name, unit) in &s.units {
+            match merged.units.get(name) {
+                Some(have) if have != unit => {
+                    return Err(BbError::checkpoint(format!(
+                        "unit {name} differs between shards (same key, different \
+                         bytes — corrupt shard or non-deterministic build)"
+                    )));
+                }
+                Some(_) => {}
+                None => {
+                    merged.units.insert(name.clone(), unit.clone());
+                }
+            }
+        }
+    }
+    let missing: Vec<&str> = first
+        .key
+        .experiments
+        .split(',')
+        .filter(|e| !e.is_empty() && !merged.units.contains_key(*e))
+        .collect();
+    if !missing.is_empty() {
+        return Err(BbError::checkpoint(format!(
+            "shards do not cover the campaign: missing {}",
+            missing.join(",")
+        )));
+    }
+    Ok(merged)
+}
+
 fn bool_str(b: bool) -> &'static str {
     if b {
         "1"
@@ -544,6 +597,63 @@ mod tests {
     fn wrong_format_version_is_rejected() {
         let err = Checkpoint::decode(b"bbck/v99\n").unwrap_err().to_string();
         assert!(err.contains("unsupported format"), "{err}");
+    }
+
+    #[test]
+    fn merge_shards_reassembles_the_campaign() {
+        let full = sample(); // key covers calib,fig1,fig2 — add fig2 first
+        let mut full = full;
+        full.record(
+            "fig2",
+            UnitResult {
+                stdout: "Figure 2\n".to_string(),
+                files: vec![],
+            },
+        );
+        let mut a = Checkpoint::new(key());
+        a.windows_done = 100;
+        a.record("calib", full.units["calib"].clone());
+        a.record("fig1", full.units["fig1"].clone());
+        let mut b = Checkpoint::new(key());
+        b.windows_done = 34;
+        b.record("fig2", full.units["fig2"].clone());
+
+        let merged = merge_shards(&[a.clone(), b.clone()]).unwrap();
+        assert_eq!(merged.units, full.units);
+        assert_eq!(merged.windows_done, 134);
+        // Order-independent (byte-identical manifest either way).
+        let again = merge_shards(&[b.clone(), a.clone()]).unwrap();
+        assert_eq!(again.encode(), merged.encode());
+        // Duplicate shards are tolerated when their units agree byte-for-byte
+        // (windows_done, an advisory progress counter, double-counts).
+        let dup = merge_shards(&[b, a.clone(), a]).unwrap();
+        assert_eq!(dup.units, merged.units);
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_keys_and_gaps() {
+        let mut a = Checkpoint::new(key());
+        a.record("calib", UnitResult::default());
+        // Key mismatch.
+        let mut other = key();
+        other.seed = 7;
+        let b = Checkpoint::new(other);
+        let err = merge_shards(&[a.clone(), b]).unwrap_err().to_string();
+        assert!(err.contains("seed mismatch"), "{err}");
+        // Coverage gap: fig1/fig2 missing.
+        let err = merge_shards(&[a.clone()]).unwrap_err().to_string();
+        assert!(err.contains("missing fig1,fig2"), "{err}");
+        // Conflicting duplicate unit.
+        let mut c = Checkpoint::new(key());
+        c.record(
+            "calib",
+            UnitResult {
+                stdout: "different bytes".into(),
+                files: vec![],
+            },
+        );
+        let err = merge_shards(&[a, c]).unwrap_err().to_string();
+        assert!(err.contains("differs between shards"), "{err}");
     }
 
     #[test]

@@ -57,13 +57,17 @@ impl FabricResult {
 
 /// Run on a fresh spray campaign.
 pub fn run(scenario: &Scenario, spray_cfg: &SprayConfig, controller: &EgressController) -> FabricResult {
+    let spray_cfg = SprayConfig {
+        targets_memo: Some(scenario.config.world_key()),
+        ..spray_cfg.clone()
+    };
     let dataset = spray(
         &scenario.topo,
         &scenario.provider,
         &scenario.workload,
         &scenario.congestion,
         scenario.fault_plane(),
-        spray_cfg,
+        &spray_cfg,
     );
     evaluate(&dataset, controller)
 }

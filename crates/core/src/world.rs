@@ -77,6 +77,28 @@ impl ScenarioConfig {
         }
     }
 
+    /// Fingerprint of every input that shapes the *world* — topology,
+    /// provider, workload, and the exit-fidelity knob — but not the
+    /// congestion or fault planes, which never influence target/route
+    /// computation. Keys the process-wide spray-target memo
+    /// ([`bb_measure::SprayConfig::targets_memo`]): two configs with equal
+    /// keys build identical topologies, providers, and workloads, so their
+    /// spray targets are interchangeable.
+    pub fn world_key(&self) -> u64 {
+        let blob = format!(
+            "{};{:?};{:?};{:?};{}",
+            self.seed, self.topology, self.provider, self.workload, self.exit_fidelity_factor,
+        );
+        // FNV-1a: stable, dependency-free, and collision-safe enough for a
+        // handful of scenario configs per process.
+        let mut h: u64 = 0x_cbf2_9ce4_8422_2325;
+        for b in blob.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x_0000_0100_0000_01b3);
+        }
+        h
+    }
+
     /// The §2.3.2 world: Microsoft-like anycast CDN.
     pub fn microsoft(seed: u64, scale: Scale) -> Self {
         Self {

@@ -12,8 +12,9 @@ use bb_bgp::{provider_rib, Announcement, ProviderRouteClass};
 use bb_cdn::Provider;
 use bb_geo::CityId;
 use bb_netsim::{
-    realize_path, sample_min_rtt, CongestionKey, CongestionModel, CongestionPlan, FaultPlane,
-    PathPlan, RealizeSpec, RealizedPath, RttModel, SimTime, UtilProbe, Window,
+    batch_session_min_z, realize_path, sample_min_rtt, CongestionKey, CongestionModel,
+    CongestionPlan, DiurnalTable, FaultPlane, JitterScratch, OffsetTable, PathPlan, PathPlanBatch,
+    RealizeSpec, RealizedPath, RttModel, SimTime, UtilProbe, Window,
 };
 use bb_topology::{AsId, InterconnectId, Topology};
 use bb_workload::{PrefixId, Workload};
@@ -21,6 +22,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Spray campaign configuration.
 #[derive(Debug, Clone, Serialize)]
@@ -36,6 +38,14 @@ pub struct SprayConfig {
     pub rtt_samples_per_session: usize,
     /// Routes sprayed per ⟨PoP, prefix⟩ (paper: top 3).
     pub top_k: usize,
+    /// World fingerprint for the process-wide target memo. `Some(key)`
+    /// lets repeat campaigns over a content-identical world (same
+    /// topology/provider/workload — e.g. the xablate arms, which vary only
+    /// congestion) reuse the first build's targets instead of recomputing
+    /// routes. `None` (default) always builds. The key must capture every
+    /// input that shapes the target set (see `ScenarioConfig::world_key`).
+    #[serde(skip)]
+    pub targets_memo: Option<u64>,
 }
 
 impl Default for SprayConfig {
@@ -47,8 +57,33 @@ impl Default for SprayConfig {
             sessions_per_window: 7,
             rtt_samples_per_session: 5,
             top_k: 3,
+            targets_memo: None,
         }
     }
+}
+
+/// Process-wide spray-target memo, keyed on
+/// `(world fingerprint, provider AS, top_k)`.
+static TARGET_CACHE: OnceLock<Mutex<HashMap<(u64, u64, usize), Arc<Vec<SprayTarget>>>>> =
+    OnceLock::new();
+
+fn cached_targets(
+    world_key: u64,
+    topo: &Topology,
+    provider: &Provider,
+    workload: &Workload,
+    top_k: usize,
+) -> Arc<Vec<SprayTarget>> {
+    let cache = TARGET_CACHE.get_or_init(Default::default);
+    let key = (world_key, provider.asn.0 as u64, top_k);
+    let mut cache = cache.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(t) = cache.get(&key) {
+        bb_exec::timing::add_count("kernel:targets_memo_hits", 1);
+        return Arc::clone(t);
+    }
+    let t = Arc::new(build_targets(topo, provider, workload, top_k));
+    cache.insert(key, Arc::clone(&t));
+    t
 }
 
 /// One pre-realized route of a ⟨PoP, prefix⟩.
@@ -101,6 +136,31 @@ impl SprayDataset {
     }
 }
 
+/// Per-task batch-kernel counters, merged and published once per campaign
+/// (same accumulate-then-publish shape as `FaultTally`, so worker count
+/// never changes the reported totals).
+#[derive(Debug, Default, Clone, Copy)]
+struct KernelTally {
+    /// `batch_session_min_z` invocations.
+    batches: usize,
+    /// `cos` evaluations elided by the batch kernel's `-r > min` cutoff.
+    cos_skipped: usize,
+}
+
+impl KernelTally {
+    fn merge(&mut self, other: KernelTally) {
+        self.batches += other.batches;
+        self.cos_skipped += other.cos_skipped;
+    }
+
+    fn publish(&self) {
+        if self.batches > 0 {
+            bb_exec::timing::add_count("kernel:spray:batches", self.batches);
+            bb_exec::timing::add_count("kernel:spray:cos_skipped", self.cos_skipped);
+        }
+    }
+}
+
 /// Run the spray campaign.
 ///
 /// With `faults: Some(..)` the campaign runs through the measurement fault
@@ -117,8 +177,9 @@ pub fn spray(
     faults: Option<&FaultPlane>,
     cfg: &SprayConfig,
 ) -> SprayDataset {
-    let targets = bb_exec::timing::time("spray:targets", || {
-        build_targets(topo, provider, workload, cfg.top_k)
+    let targets = bb_exec::timing::time("spray:targets", || match cfg.targets_memo {
+        Some(world_key) => (*cached_targets(world_key, topo, provider, workload, cfg.top_k)).clone(),
+        None => build_targets(topo, provider, workload, cfg.top_k),
     });
     let rtt_model = RttModel::default();
 
@@ -127,16 +188,20 @@ pub fn spray(
         .filter(|w| w.0 % cfg.window_stride == 0)
         .collect();
 
-    // Compile every route's measurement plan once: the per-window query is
-    // then a fold over resolved congestion handles, with no topology
-    // lookups and no model lock on the hot path.
+    // Compile every route's measurement plan once, then re-lay the compiled
+    // plans out as per-target structure-of-arrays batches: the per-window
+    // query is a linear pass over flat term lanes, with no topology lookups,
+    // no model lock, and no Arc chases on the hot path. Diurnal factors for
+    // every (window midpoint, UTC offset) pair are tabulated once for the
+    // whole campaign — the sine that used to run per term per window runs
+    // once per table cell.
     struct RoutePlan {
         rtt: PathPlan,
         egress_util: UtilProbe,
     }
-    let plans: Vec<Vec<RoutePlan>> = bb_exec::timing::time("spray:plan", || {
+    let (batches, diurnal) = bb_exec::timing::time("spray:plan", || {
         let cplan = CongestionPlan::new(congestion);
-        bb_exec::par_map(&targets, |_, target| {
+        let plans: Vec<Vec<RoutePlan>> = bb_exec::par_map(&targets, |_, target| {
             let lastmile = CongestionKey::LastMile(target.prefix.lastmile_code());
             target
                 .routes
@@ -151,14 +216,39 @@ pub fn spray(
                     }
                 })
                 .collect()
-        })
+        });
+        let mut offsets = OffsetTable::new();
+        let batches: Vec<PathPlanBatch> = plans
+            .iter()
+            .map(|rps| {
+                let pairs: Vec<(&PathPlan, Option<&UtilProbe>)> =
+                    rps.iter().map(|rp| (&rp.rtt, Some(&rp.egress_util))).collect();
+                PathPlanBatch::from_route_plans(&pairs, &mut offsets)
+            })
+            .collect();
+        let times: Vec<SimTime> = windows.iter().map(|w| w.midpoint()).collect();
+        let diurnal = DiurnalTable::build(&times, &offsets);
+        (batches, diurnal)
     });
+
+    // The log-normal jitter map `z ↦ median·exp(sigma·z)` is monotone
+    // non-decreasing for sigma, median ≥ 0, so (a) each session's min
+    // jitter is the jitter of the session's min deviate (one exp per
+    // session — `sample_min_rtt` has always exploited this) and (b) with an
+    // odd session count the window median — an exact order statistic under
+    // `quantile_select` — commutes with the map too: one exp per
+    // (window, route) instead of one per session, same bits.
+    let monotone_jitter = rtt_model.jitter_sigma >= 0.0 && rtt_model.jitter_median_ms >= 0.0;
+    let odd_sessions = cfg.sessions_per_window % 2 == 1;
+    let jitter_of = |min_z: f64| {
+        rtt_model.jitter_median_ms * (rtt_model.jitter_sigma * min_z).exp()
+    };
 
     // One task per target; each task's RNG streams are keyed on
     // (seed, window, target index, route index), so the rows are identical
     // for every worker count, and the in-order flatten keeps the row order
     // of the old sequential nesting (target-major, window-minor).
-    let per_target: Vec<(Vec<WindowRow>, crate::FaultTally)> =
+    let per_target: Vec<(Vec<WindowRow>, crate::FaultTally, KernelTally)> =
         bb_exec::timing::time("spray:windows", || bb_exec::par_map(&targets, |ti, target| {
             let prefix = workload.prefix(target.prefix);
             let client_offset = topo
@@ -166,19 +256,26 @@ pub fn spray(
                 .city(prefix.city)
                 .region
                 .utc_offset_hours();
+            let batch = &batches[ti];
 
-            // Session scratch, reused across every (window, route) of this
-            // target; quantile_select matches the old clone-and-sort median
-            // bit-for-bit.
+            // Scratch reused across every (window, route) of this target:
+            // session values, batch kernel lanes, per-session minima, and
+            // the fault path's kept-session buffer. Nothing allocates
+            // inside the window loop except the per-row output vectors.
             let mut sessions = vec![0.0_f64; cfg.sessions_per_window];
+            let mut jscratch = JitterScratch::default();
+            let mut min_z: Vec<f64> = Vec::with_capacity(cfg.sessions_per_window);
+            let mut kept: Vec<f64> = Vec::with_capacity(cfg.sessions_per_window);
             let mut tally = crate::FaultTally::default();
+            let mut ktally = KernelTally::default();
             let mut rows = Vec::with_capacity(windows.len());
-            for &w in &windows {
+            for (wi, &w) in windows.iter().enumerate() {
                 let t = w.midpoint();
+                let drow = diurnal.row(wi);
                 let mut medians = Vec::with_capacity(target.routes.len());
                 let mut utils = Vec::with_capacity(target.routes.len());
                 let mut counts = Vec::with_capacity(target.routes.len());
-                for (ri, plan) in plans[ti].iter().enumerate() {
+                for ri in 0..target.routes.len() {
                     // Deterministic per (seed, window, target, route)
                     // sampling. Chained SplitMix64 mixing: the raw
                     // shift-XOR scheme used previously left low-entropy,
@@ -190,17 +287,42 @@ pub fn spray(
                     );
                     match faults {
                         None => {
-                            let det = plan.rtt.rtt_ms(t);
+                            let det = batch.det_rtt_ms(ri, t, drow);
                             let mut rng = StdRng::seed_from_u64(route_rng_seed);
-                            for s in sessions.iter_mut() {
-                                *s = sample_min_rtt(
-                                    det,
-                                    &rtt_model,
-                                    cfg.rtt_samples_per_session,
+                            if monotone_jitter {
+                                ktally.batches += 1;
+                                ktally.cos_skipped += batch_session_min_z(
                                     &mut rng,
+                                    cfg.sessions_per_window,
+                                    cfg.rtt_samples_per_session,
+                                    &mut jscratch,
+                                    &mut min_z,
                                 );
+                                let med = if odd_sessions {
+                                    let z =
+                                        bb_stats::quantile::quantile_select(&mut min_z, 0.5);
+                                    det + jitter_of(z)
+                                } else {
+                                    for (slot, &z) in sessions.iter_mut().zip(&min_z) {
+                                        *slot = det + jitter_of(z);
+                                    }
+                                    bb_stats::quantile::quantile_select(&mut sessions, 0.5)
+                                };
+                                medians.push(med);
+                            } else {
+                                for s in sessions.iter_mut() {
+                                    *s = sample_min_rtt(
+                                        det,
+                                        &rtt_model,
+                                        cfg.rtt_samples_per_session,
+                                        &mut rng,
+                                    );
+                                }
+                                medians.push(bb_stats::quantile::quantile_select(
+                                    &mut sessions,
+                                    0.5,
+                                ));
                             }
-                            medians.push(bb_stats::quantile::quantile_select(&mut sessions, 0.5));
                             counts.push(cfg.sessions_per_window as u32);
                         }
                         Some(fp) => {
@@ -219,8 +341,7 @@ pub fn spray(
                                 medians.push(f64::NAN);
                                 counts.push(0);
                             } else {
-                                let mut kept: Vec<f64> =
-                                    Vec::with_capacity(cfg.sessions_per_window);
+                                kept.clear();
                                 for s in 0..cfg.sessions_per_window {
                                     let probe_key = FaultPlane::stream_key(&[
                                         route_key,
@@ -236,6 +357,7 @@ pub fn spray(
                                             // little later (backoff).
                                             let ta = t + attempt as f64
                                                 * fp.config().retry_backoff_min;
+                                            let det = batch.det_rtt_ms_at(ri, ta);
                                             let mut rng =
                                                 StdRng::seed_from_u64(bb_exec::derive_seed(
                                                     bb_exec::derive_seed(
@@ -244,12 +366,24 @@ pub fn spray(
                                                     ),
                                                     attempt as u64,
                                                 ));
-                                            sample_min_rtt(
-                                                plan.rtt.rtt_ms(ta),
-                                                &rtt_model,
-                                                cfg.rtt_samples_per_session,
-                                                &mut rng,
-                                            )
+                                            if monotone_jitter {
+                                                ktally.batches += 1;
+                                                ktally.cos_skipped += batch_session_min_z(
+                                                    &mut rng,
+                                                    1,
+                                                    cfg.rtt_samples_per_session,
+                                                    &mut jscratch,
+                                                    &mut min_z,
+                                                );
+                                                det + jitter_of(min_z[0])
+                                            } else {
+                                                sample_min_rtt(
+                                                    det,
+                                                    &rtt_model,
+                                                    cfg.rtt_samples_per_session,
+                                                    &mut rng,
+                                                )
+                                            }
                                         },
                                     );
                                     if let Some(v) = got {
@@ -268,7 +402,7 @@ pub fn spray(
                             }
                         }
                     }
-                    utils.push(plan.egress_util.utilization(t));
+                    utils.push(batch.probe_util(ri, t, drow));
                 }
                 let volume =
                     prefix.weight * bb_workload::diurnal_activity(t.local_hour(client_offset));
@@ -283,17 +417,20 @@ pub fn spray(
                 });
                 crate::progress::window_done();
             }
-            (rows, tally)
+            (rows, tally, ktally)
         }));
     let mut tally = crate::FaultTally::default();
+    let mut ktally = KernelTally::default();
     let mut rows: Vec<WindowRow> = Vec::new();
-    for (target_rows, target_tally) in per_target {
+    for (target_rows, target_tally, target_ktally) in per_target {
         rows.extend(target_rows);
         tally.merge(target_tally);
+        ktally.merge(target_ktally);
     }
     if faults.is_some() {
         tally.publish();
     }
+    ktally.publish();
 
     let route_windows: usize = targets.iter().map(|t| t.routes.len()).sum::<usize>()
         * windows.len();

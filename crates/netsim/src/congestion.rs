@@ -102,6 +102,18 @@ pub struct CongestionEvent {
     pub severity: f64,
 }
 
+/// Diurnal demand factor at a local hour-of-day: peaks at 20:00 local,
+/// troughs at 08:00, in [0, 1].
+///
+/// Factored out of [`KeyProcess::utilization`] so the SoA batch tables
+/// ([`crate::plan::DiurnalTable`]) evaluate the exact same expression —
+/// bit-identity between the batched and scalar paths hinges on both sides
+/// running this one function.
+#[inline]
+pub fn diurnal_factor(local_h: f64) -> f64 {
+    0.5 * (1.0 + ((local_h - 14.0) / 24.0 * std::f64::consts::TAU).sin())
+}
+
 /// The materialized utilization process of one key: base + diurnal
 /// amplitude plus a start-sorted, non-overlapping event list (generation
 /// spaces events by `duration + gap` with `gap > 0`, so at most one event
@@ -127,13 +139,29 @@ impl KeyProcess {
     #[inline]
     pub fn utilization(&self, utc_offset_hours: f64, t: SimTime, max_util: f64) -> f64 {
         let local_h = t.local_hour(utc_offset_hours);
-        // Peaks at 20:00 local, troughs at 08:00.
-        let diurnal = 0.5 * (1.0 + ((local_h - 14.0) / 24.0 * std::f64::consts::TAU).sin());
+        self.utilization_with_diurnal(diurnal_factor(local_h), t, max_util)
+    }
+
+    /// [`utilization`](Self::utilization) with the diurnal factor supplied
+    /// by the caller (batch paths read it from a per-window table instead
+    /// of recomputing the sine per term).
+    #[inline]
+    pub fn utilization_with_diurnal(&self, diurnal: f64, t: SimTime, max_util: f64) -> f64 {
         let mut util = self.base + self.amp * diurnal;
         if let Some(sev) = self.active_severity(t) {
             util += sev;
         }
         util.min(max_util)
+    }
+
+    /// Base utilization of this process (SoA batch compilation).
+    pub fn base(&self) -> f64 {
+        self.base
+    }
+
+    /// Diurnal amplitude of this process (SoA batch compilation).
+    pub fn amp(&self) -> f64 {
+        self.amp
     }
 
     /// Severity of the event active at `t`, if any.

@@ -38,12 +38,15 @@ pub mod rtt;
 pub mod time;
 
 pub use congestion::{
-    materialize_races_closed, CongestionConfig, CongestionKey, CongestionModel, KeyProcess,
+    diurnal_factor, materialize_races_closed, CongestionConfig, CongestionKey, CongestionModel,
+    KeyProcess,
 };
-pub use plan::{CongestionPlan, PathPlan, UtilProbe};
+pub use plan::{CongestionPlan, DiurnalTable, OffsetTable, PathPlan, PathPlanBatch, UtilProbe};
 pub use failure::{outage_races_closed, FailureConfig, FailureKey, FailureModel, Outage};
 pub use fault::{churn_races_closed, FaultConfig, FaultLevel, FaultPlane, MAX_BASE_RTT_MS};
 pub use goodput::goodput_mbps;
 pub use path::{realize_path, RealizeSpec, RealizedPath, Segment, TracerouteHop};
-pub use rtt::{path_base_rtt_ms, path_rtt_ms, sample_min_rtt, RttModel};
+pub use rtt::{
+    batch_session_min_z, path_base_rtt_ms, path_rtt_ms, sample_min_rtt, JitterScratch, RttModel,
+};
 pub use time::{SimTime, Window, WINDOW_MINUTES};

@@ -115,6 +115,68 @@ fn normal_draw(rng: &mut impl Rng) -> f64 {
     (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
 }
 
+/// Reused buffers for [`batch_session_min_z`]: the Box-Muller radius and
+/// angle lanes of one batch. Hoisted out of the window loop by callers so
+/// the hot path allocates nothing.
+#[derive(Debug, Default)]
+pub struct JitterScratch {
+    /// `u1` on fill, replaced in place by the radius `√(−2·ln u1)`.
+    r: Vec<f64>,
+    /// The raw `u2` uniforms (angle lane).
+    u2: Vec<f64>,
+}
+
+/// Batched session sampling: draw `sessions × samples_per_session` standard
+/// normals from `rng` — in exactly the stream order of `sessions` repeated
+/// [`sample_min_rtt`] calls — and write each session's minimum deviate into
+/// `out_min_z`. Returns the number of `cos` evaluations skipped.
+///
+/// The structure-of-arrays pass splits Box-Muller into lanes: one pass
+/// draws the uniforms (two `next_u64` per deviate, same consumption as the
+/// scalar path), one pass folds the radius lane `√(−2·ln u1)`, and the
+/// min-reduce pass evaluates the angle `cos(τ·u2)` only when it can affect
+/// the session minimum: since `z = r·cos(·) ≥ −r`, a deviate with
+/// `−r > min` so far can only land strictly above the running minimum, so
+/// skipping its `cos` leaves the fold bit-identical (strict inequality —
+/// ties still evaluate and fold through the same `f64::min`).
+pub fn batch_session_min_z(
+    rng: &mut impl Rng,
+    sessions: usize,
+    samples_per_session: usize,
+    scratch: &mut JitterScratch,
+    out_min_z: &mut Vec<f64>,
+) -> usize {
+    let n = sessions * samples_per_session;
+    scratch.r.clear();
+    scratch.u2.clear();
+    scratch.r.reserve(n);
+    scratch.u2.reserve(n);
+    for _ in 0..n {
+        scratch.r.push(rng.gen_range(f64::EPSILON..1.0));
+        scratch.u2.push(rng.gen::<f64>());
+    }
+    for u1 in scratch.r.iter_mut() {
+        *u1 = (-2.0 * u1.ln()).sqrt();
+    }
+    let mut skipped = 0usize;
+    out_min_z.clear();
+    out_min_z.reserve(sessions);
+    for s in 0..sessions {
+        let mut min_z = f64::INFINITY;
+        for i in s * samples_per_session..(s + 1) * samples_per_session {
+            let r = scratch.r[i];
+            if -r > min_z {
+                skipped += 1;
+                continue;
+            }
+            let z = r * (std::f64::consts::TAU * scratch.u2[i]).cos();
+            min_z = min_z.min(z);
+        }
+        out_min_z.push(min_z);
+    }
+    skipped
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -200,6 +262,37 @@ mod tests {
         for _ in 0..100 {
             assert!(sample_min_rtt(42.0, &rm, 5, &mut rng) >= 42.0);
         }
+    }
+
+    #[test]
+    fn batch_min_z_matches_scalar_sample_min_rtt() {
+        let rm = RttModel::default();
+        let mut scratch = JitterScratch::default();
+        let mut min_z = Vec::new();
+        for (sessions, samples) in [(1, 1), (3, 5), (7, 5), (8, 4), (5, 1)] {
+            for seed in 0..50u64 {
+                let mut scalar_rng = StdRng::seed_from_u64(seed);
+                let scalar: Vec<f64> = (0..sessions)
+                    .map(|_| sample_min_rtt(10.0, &rm, samples, &mut scalar_rng))
+                    .collect();
+                let mut batch_rng = StdRng::seed_from_u64(seed);
+                batch_session_min_z(&mut batch_rng, sessions, samples, &mut scratch, &mut min_z);
+                assert_eq!(min_z.len(), sessions);
+                for (s, &z) in scalar.iter().zip(&min_z) {
+                    let batch_v = 10.0 + rm.jitter_median_ms * (rm.jitter_sigma * z).exp();
+                    assert_eq!(s.to_bits(), batch_v.to_bits(), "seed {seed}");
+                }
+                // Same stream position afterwards: the batch consumed
+                // exactly the scalar path's draws.
+                use crate::rtt::tests::next_of;
+                assert_eq!(next_of(&mut scalar_rng), next_of(&mut batch_rng));
+            }
+        }
+    }
+
+    pub(crate) fn next_of(rng: &mut StdRng) -> u64 {
+        use rand::RngCore;
+        rng.next_u64()
     }
 
     #[test]

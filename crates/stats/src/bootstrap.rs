@@ -84,29 +84,68 @@ pub fn bootstrap_median_ci(
         });
     }
 
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut medians = Vec::with_capacity(resamples);
-    let mut buf = vec![0.0; values.len()];
-    // `gen_range(0..len)` is `next_u64() % len`; the divisor is loop-
-    // invariant, so hoist the division out of the ~len × resamples draws.
-    let index = FastRem::new(values.len() as u64);
-    for _ in 0..resamples {
-        for slot in buf.iter_mut() {
-            *slot = values[index.rem(rng.next_u64()) as usize];
+    SCRATCH.with_borrow_mut(|scratch| {
+        let BootstrapScratch { raw, buf, medians } = scratch;
+        let mut rng = StdRng::seed_from_u64(seed);
+        // One batched pass over the generator: selection consumes no
+        // randomness, so front-loading every draw leaves the stream order —
+        // and therefore the resampled indices — exactly as the interleaved
+        // draw-then-select loop produced them.
+        let n = resamples * values.len();
+        raw.clear();
+        raw.reserve(n);
+        for _ in 0..n {
+            raw.push(rng.next_u64());
         }
-        // O(n) selection; bit-identical to sort + quantile_sorted, and buf
-        // is refilled next iteration so the partial reorder is harmless.
-        medians.push(crate::quantile_select(&mut buf, 0.5));
-    }
-    medians.sort_by(|a, b| a.total_cmp(b));
+        // `gen_range(0..len)` is `next_u64() % len`; the divisor is loop-
+        // invariant, so hoist the division out of the ~len × resamples
+        // draws.
+        let index = FastRem::new(values.len() as u64);
+        buf.resize(values.len(), 0.0);
+        medians.clear();
+        medians.reserve(resamples);
+        for r in 0..resamples {
+            let draws = &raw[r * values.len()..(r + 1) * values.len()];
+            for (slot, &bits) in buf.iter_mut().zip(draws) {
+                *slot = values[index.rem(bits) as usize];
+            }
+            // O(n) selection; bit-identical to sort + quantile_sorted, and
+            // buf is refilled next iteration so the partial reorder is
+            // harmless.
+            medians.push(crate::quantile_select(buf, 0.5));
+        }
+        medians.sort_by(|a, b| a.total_cmp(b));
 
-    let alpha = (1.0 - level.clamp(0.0, 1.0)) / 2.0;
-    Some(ConfidenceInterval {
-        lower: quantile_sorted(&medians, alpha),
-        point,
-        upper: quantile_sorted(&medians, 1.0 - alpha),
-        level,
+        let alpha = (1.0 - level.clamp(0.0, 1.0)) / 2.0;
+        Some(ConfidenceInterval {
+            lower: quantile_sorted(medians, alpha),
+            point,
+            upper: quantile_sorted(medians, 1.0 - alpha),
+            level,
+        })
     })
+}
+
+/// Reused bootstrap buffers, one set per thread: the egress study runs one
+/// `bootstrap_median_ci` per ⟨PoP, prefix⟩ group (hundreds to thousands per
+/// campaign), and the three buffers would otherwise be reallocated per
+/// group.
+struct BootstrapScratch {
+    /// Raw generator output, one `u64` per resampled index.
+    raw: Vec<u64>,
+    /// One resample of `values`.
+    buf: Vec<f64>,
+    /// The bootstrap replicate medians.
+    medians: Vec<f64>,
+}
+
+thread_local! {
+    static SCRATCH: std::cell::RefCell<BootstrapScratch> =
+        std::cell::RefCell::new(BootstrapScratch {
+            raw: Vec::new(),
+            buf: Vec::new(),
+            medians: Vec::new(),
+        });
 }
 
 #[cfg(test)]

@@ -3,7 +3,8 @@
 //! ```text
 //! repro [EXPERIMENT] [--scale test|full|large] [--seed N] [--jobs N] [--timing]
 //!       [--faults off|light|heavy] [--keep-going]
-//!       [--checkpoint DIR] [--resume DIR]
+//!       [--checkpoint DIR] [--resume DIR] [--shard I/N]
+//! repro merge SHARD_DIR... [--csv DIR]
 //!
 //! EXPERIMENT: all (default) | fig1 | fig2 | s311 | fig3 | fig4 | fig5 |
 //!             calib | goodput | xpeer | xgroom | xsites | xonenet | xsplit |
@@ -21,8 +22,9 @@
 //! and sweeps them through `bb-audit`'s invariant rules (valley-free
 //! paths, speed-of-light RTT bounds, timeout censoring, CDF monotonicity,
 //! weight conservation, coverage accounting, churn-interval shape) plus
-//! three metamorphic relations on `Scale::Test` slices (faults-off
-//! equivalence, jobs independence, ablation directionality).
+//! four metamorphic relations on `Scale::Test` slices (faults-off
+//! equivalence, jobs independence, ablation directionality, shard
+//! independence).
 //! `BB_AUDIT_VIOLATE=<rule>` injects a corrupt item into that rule's input
 //! stream so CI can prove each rule fires.
 //!
@@ -43,6 +45,17 @@
 //! and SIGTERM trigger a graceful drain: in-flight experiments finish,
 //! the checkpoint is flushed, and the run exits 130 with an
 //! `=== INTERRUPTED (resumable) ===` block on stderr.
+//!
+//! `--shard I/N` splits the selected campaign across processes: shard I
+//! runs the contiguous slice `[I·n/N, (I+1)·n/N)` of the experiment list,
+//! prints nothing on stdout, and writes its units into the standard
+//! checkpoint manifest (`--checkpoint` is therefore required). Every shard
+//! of one campaign carries an *identical* campaign key naming the full
+//! experiment list, so `repro merge DIR...` can verify the shards belong
+//! together, that they cover every experiment, and that duplicated units
+//! agree byte-for-byte — then it reassembles stdout (and `--csv` exports)
+//! byte-identical to the unsharded run. Any mismatch is a usage error
+//! (exit 2), never a silent partial merge.
 
 use beating_bgp::cdn::EgressController;
 use beating_bgp::core::ext::{
@@ -79,6 +92,9 @@ struct Args {
     /// Resume from the checkpoint manifest in this directory (implies
     /// checkpointing back to the same directory).
     resume: Option<std::path::PathBuf>,
+    /// `(index, count)` from `--shard I/N`: run only slice I of the
+    /// selected experiments, suppress stdout, checkpoint the units.
+    shard: Option<(usize, usize)>,
 }
 
 /// Set by the SIGINT/SIGTERM handlers; the supervisor's cancel hook reads
@@ -119,6 +135,7 @@ fn parse_args() -> Args {
     let mut keep_going = false;
     let mut checkpoint: Option<std::path::PathBuf> = None;
     let mut resume: Option<std::path::PathBuf> = None;
+    let mut shard: Option<(usize, usize)> = None;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
@@ -206,12 +223,33 @@ fn parse_args() -> Args {
                     },
                 )));
             }
+            "--shard" => {
+                i += 1;
+                let spec = argv.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--shard needs I/N (e.g. 0/3)");
+                    std::process::exit(2);
+                });
+                shard = match spec.split_once('/') {
+                    Some((a, b)) => match (a.parse::<usize>(), b.parse::<usize>()) {
+                        (Ok(idx), Ok(n)) if n >= 1 && idx < n => Some((idx, n)),
+                        _ => {
+                            eprintln!("--shard: bad spec {spec:?}; need I/N with 0 <= I < N");
+                            std::process::exit(2);
+                        }
+                    },
+                    None => {
+                        eprintln!("--shard: bad spec {spec:?}; need I/N with 0 <= I < N");
+                        std::process::exit(2);
+                    }
+                };
+            }
             "--help" | "-h" => {
                 println!(
                     "repro [EXPERIMENT] [--scale test|full|large] [--seed N] [--jobs N] \
                      [--timing] [--timing-json PATH] [--csv DIR] \
                      [--faults off|light|heavy] [--keep-going] \
-                     [--checkpoint DIR] [--resume DIR]\n\
+                     [--checkpoint DIR] [--resume DIR] [--shard I/N]\n\
+                     repro merge SHARD_DIR... [--csv DIR]\n\
                      experiments: all fig1 fig2 s311 fig3 fig4 fig5 calib goodput \
                      xpeer xgroom xsites xonenet xsplit xablate xavail xhybrid xfabric xecs audit\n\
                      audit      sweep the built worlds and studies through bb-audit's\n\
@@ -231,9 +269,14 @@ fn parse_args() -> Args {
                      {:11}completed experiment; SIGINT/SIGTERM drain gracefully\n\
                      --resume DIR  replay completed experiments from DIR's checkpoint\n\
                      {:11}(stale checkpoints are rejected, exit 2), continue the rest\n\
+                     --shard I/N  run slice I of the selected experiments into the\n\
+                     {:11}checkpoint (no stdout); `repro merge` stitches the shards\n\
+                     {:11}byte-identically to the unsharded run\n\
+                     merge DIR...  validate + merge shard checkpoints, print the\n\
+                     {:11}campaign stdout; --csv re-emits the captured exports\n\
                      exit codes: 0 ok, 1 runtime failure, 2 usage error, \
                      130 interrupted (resumable)",
-                    "", "", "", "", "", "", "", "", ""
+                    "", "", "", "", "", "", "", "", "", "", "", ""
                 );
                 std::process::exit(0);
             }
@@ -258,6 +301,13 @@ fn parse_args() -> Args {
         eprintln!("audit runs standalone and does not support --checkpoint/--resume");
         std::process::exit(2);
     }
+    if shard.is_some() && checkpoint.is_none() && resume.is_none() {
+        eprintln!(
+            "--shard requires --checkpoint DIR: a shard's only output is its \
+             checkpoint manifest (stitch the shards with `repro merge`)"
+        );
+        std::process::exit(2);
+    }
     Args {
         experiment,
         scale,
@@ -270,6 +320,7 @@ fn parse_args() -> Args {
         keep_going,
         checkpoint,
         resume,
+        shard,
     }
 }
 
@@ -287,6 +338,7 @@ fn perf_report(
     args: &Args,
     wall_s: f64,
     supervision: &SupervisionReport,
+    route_cache_by_experiment: Vec<beating_bgp::bench::ExperimentCacheStats>,
 ) -> beating_bgp::bench::PerfReport {
     use beating_bgp::bench::{CounterSample, PerfReport, PhaseTiming, RouteCacheStats};
     let (hits, misses, resident) = beating_bgp::exec::cache_stats();
@@ -317,6 +369,7 @@ fn perf_report(
             misses: misses as u64,
             resident: resident as u64,
         },
+        route_cache_by_experiment,
         faults: {
             let counters = timing::counters();
             let get = |label: &str| {
@@ -365,7 +418,113 @@ fn spray_cfg(scale: Scale) -> SprayConfig {
     }
 }
 
+/// `repro merge SHARD_DIR... [--csv DIR]`: stitch shard checkpoints into
+/// the campaign's stdout, byte-identical to the unsharded run. Every
+/// validation failure — unreadable manifest, mismatched campaign keys,
+/// coverage gaps, conflicting duplicate units, schema drift — is a usage
+/// error (exit 2); a partial merge is never printed.
+fn run_merge() -> ! {
+    use beating_bgp::core::checkpoint;
+    let argv: Vec<String> = std::env::args().skip(2).collect();
+    let mut dirs: Vec<std::path::PathBuf> = Vec::new();
+    let mut csv_dir: Option<std::path::PathBuf> = None;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--csv" => {
+                i += 1;
+                let dir = std::path::PathBuf::from(argv.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--csv needs a directory");
+                    std::process::exit(2);
+                }));
+                if let Err(e) = std::fs::create_dir_all(&dir) {
+                    eprintln!("--csv: cannot create {}: {e}", dir.display());
+                    std::process::exit(2);
+                }
+                csv_dir = Some(dir);
+            }
+            "--help" | "-h" => {
+                println!(
+                    "repro merge SHARD_DIR... [--csv DIR]\n\
+                     stitch shard checkpoints (written by `repro --shard I/N --checkpoint`)\n\
+                     into the campaign's stdout, byte-identical to the unsharded run;\n\
+                     --csv re-emits the CSV exports captured in the shard manifests\n\
+                     exit codes: 0 ok, 2 shards invalid/incomplete/mismatched"
+                );
+                std::process::exit(0);
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("repro merge: unknown flag {flag}");
+                std::process::exit(2);
+            }
+            dir => dirs.push(std::path::PathBuf::from(dir)),
+        }
+        i += 1;
+    }
+    if dirs.is_empty() {
+        eprintln!("repro merge: no shard directories given");
+        std::process::exit(2);
+    }
+    let shards: Vec<checkpoint::Checkpoint> = dirs
+        .iter()
+        .map(|d| {
+            checkpoint::Checkpoint::load(d).unwrap_or_else(|e| {
+                eprintln!("repro merge: {}: {e}", d.display());
+                std::process::exit(2);
+            })
+        })
+        .collect();
+    // `merge_shards` checks the shards against *each other*; the binary's
+    // own schema must match too, or the stitched bytes would claim to be
+    // this build's output.
+    if shards[0].key.code_schema != checkpoint::CODE_SCHEMA {
+        eprintln!(
+            "repro merge: manifest code_schema {} does not match this binary ({})",
+            shards[0].key.code_schema,
+            checkpoint::CODE_SCHEMA
+        );
+        std::process::exit(2);
+    }
+    let merged = checkpoint::merge_shards(&shards).unwrap_or_else(|e| {
+        eprintln!("repro merge: {e}");
+        std::process::exit(2);
+    });
+    // Coverage is guaranteed by merge_shards, so assembling in the key's
+    // experiment order reproduces the unsharded stdout exactly.
+    let mut stdout = String::new();
+    for name in merged.key.experiments.split(',') {
+        let unit = merged
+            .units
+            .get(name)
+            .expect("merge_shards verified coverage of every experiment");
+        stdout.push_str(&unit.stdout);
+        if let Some(dir) = &csv_dir {
+            for (fname, bytes) in &unit.files {
+                if let Err(e) =
+                    beating_bgp::core::export::write_atomic_bytes(&dir.join(fname), bytes)
+                {
+                    eprintln!("repro merge: writing {fname}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+    eprintln!(
+        "[repro] merged {} shard manifest(s): {} experiments, seed {}, scale {}, faults {}",
+        dirs.len(),
+        merged.units.len(),
+        merged.key.seed,
+        merged.key.scale,
+        merged.key.faults
+    );
+    print!("{stdout}");
+    std::process::exit(0);
+}
+
 fn main() {
+    if std::env::args().nth(1).as_deref() == Some("merge") {
+        run_merge();
+    }
     let args = parse_args();
     let t0 = std::time::Instant::now();
     beating_bgp::exec::set_jobs(args.jobs);
@@ -802,6 +961,27 @@ fn main() {
     }
     let names: Vec<&'static str> = selected.iter().map(|(n, _)| *n).collect();
 
+    // --- Sharding: run one contiguous slice of the campaign. ---
+    // The slice bounds are `[I·n/N, (I+1)·n/N)`, so the N slices tile the
+    // list exactly. The campaign key (below) still names the FULL selected
+    // list: every shard of one campaign carries an identical key, which is
+    // what lets `repro merge` verify the manifests belong together and
+    // that, combined, they cover everything.
+    let shard_names: Vec<&'static str> = match args.shard {
+        Some((idx, n)) => {
+            let lo = idx * names.len() / n;
+            let hi = (idx + 1) * names.len() / n;
+            eprintln!(
+                "[repro] shard {idx}/{n}: running {} of {} experiments: {}",
+                hi - lo,
+                names.len(),
+                names[lo..hi].join(",")
+            );
+            names[lo..hi].to_vec()
+        }
+        None => names.clone(),
+    };
+
     // --- Checkpoint / resume wiring. ---
     // The campaign key pins everything that feeds unit output; a manifest
     // whose key mismatches is rejected (exit 2), never silently reused.
@@ -876,10 +1056,11 @@ fn main() {
         );
     }
 
-    // Experiments still to run (everything not replayed from a checkpoint).
+    // Experiments still to run (this shard's slice, minus anything already
+    // replayed from a checkpoint).
     let run_list: Vec<Exp> = selected
         .iter()
-        .filter(|(n, _)| !replay.contains_key(n))
+        .filter(|(n, _)| !replay.contains_key(n) && shard_names.contains(n))
         .map(|(n, run)| {
             // Re-borrow the boxed closure; the original stays in `selected`.
             let run: &(dyn Fn() -> BbResult<UnitResult> + Sync) = run.as_ref();
@@ -938,13 +1119,40 @@ fn main() {
         retry_budget: 8,
         jitter_seed: args.seed,
     };
+    // Per-experiment route-cache attribution: snapshot the process-wide
+    // counters around each closure. At `--jobs 1` the deltas are exact; with
+    // concurrent experiments the counters interleave, so a lookup lands on
+    // whichever experiment was on the clock (documented in the report).
+    let cache_deltas: Mutex<std::collections::BTreeMap<&'static str, (u64, u64)>> =
+        Mutex::new(std::collections::BTreeMap::new());
     let (outcomes, sup_report) =
         supervisor::supervise(&run_list, &policy, None, &cancel, &on_final, |_, attempt, (name, run)| {
             if poison_name.as_deref() == Some(*name) && attempt < poison_attempts {
                 panic!("poisoned by BB_REPRO_POISON (attempt {attempt})");
             }
-            timing::time(&format!("exp:{name}"), run)
+            let (h0, m0, _) = beating_bgp::exec::cache_stats();
+            let out = timing::time(&format!("exp:{name}"), run);
+            let (h1, m1, _) = beating_bgp::exec::cache_stats();
+            let mut map = cache_deltas.lock().unwrap_or_else(|e| e.into_inner());
+            let entry = map.entry(*name).or_insert((0, 0));
+            entry.0 += h1.saturating_sub(h0) as u64;
+            entry.1 += m1.saturating_sub(m0) as u64;
+            out
         });
+    // Campaign output order, restricted to experiments that actually ran.
+    let cache_by_exp: Vec<beating_bgp::bench::ExperimentCacheStats> = {
+        let map = cache_deltas.lock().unwrap_or_else(|e| e.into_inner());
+        names
+            .iter()
+            .filter_map(|n| {
+                map.get(n).map(|&(hits, misses)| beating_bgp::bench::ExperimentCacheStats {
+                    experiment: n.to_string(),
+                    hits,
+                    misses,
+                })
+            })
+            .collect()
+    };
     beating_bgp::measure::progress::reset();
 
     // A drain that skipped work means the campaign is incomplete: flush the
@@ -963,13 +1171,18 @@ fn main() {
                     selected.len(),
                     shared.0.display()
                 );
+                let shard_suffix = args
+                    .shard
+                    .map(|(idx, n)| format!(" --shard {idx}/{n}"))
+                    .unwrap_or_default();
                 eprintln!(
-                    "  resume with: repro {} --resume {} --seed {} --scale {} --faults {}",
+                    "  resume with: repro {} --resume {} --seed {} --scale {} --faults {}{}",
                     args.experiment,
                     shared.0.display(),
                     args.seed,
                     scale_label(args.scale),
-                    args.faults.as_str()
+                    args.faults.as_str(),
+                    shard_suffix
                 );
                 eprintln!("=== END INTERRUPTED ===");
             }
@@ -996,7 +1209,7 @@ fn main() {
         .collect();
     let mut stdout = String::new();
     let mut failures: Vec<(&str, String)> = Vec::new();
-    for name in &names {
+    for name in &shard_names {
         if let Some(unit) = replay.get(name) {
             stdout.push_str(&unit.stdout);
             if let Some(dir) = &args.csv_dir {
@@ -1036,15 +1249,46 @@ fn main() {
         eprintln!(
             "{} of {} experiments failed; rerun with --keep-going to print survivors",
             failures.len(),
-            selected.len()
+            shard_names.len()
         );
         std::process::exit(1);
     }
-    print!("{stdout}");
+    // A shard's stdout is withheld: `repro merge` reassembles the campaign's
+    // full output from the manifests, byte-identical to an unsharded run —
+    // partial per-shard stdout would only invite accidental concatenation.
+    if args.shard.is_none() {
+        print!("{stdout}");
+    } else if let Some(shared) = &ck_shared {
+        eprintln!(
+            "[repro] shard complete: {} experiment(s) checkpointed to {}; \
+             stitch the shards with `repro merge`",
+            shard_names.len(),
+            shared.0.display()
+        );
+    }
 
     let wall_s = t0.elapsed().as_secs_f64();
     if args.timing {
         eprint!("{}", timing::report());
+        if !cache_by_exp.is_empty() {
+            eprintln!(
+                "route cache by experiment (deltas{}):",
+                if beating_bgp::exec::jobs() == 1 {
+                    ""
+                } else {
+                    "; approximate under --jobs > 1"
+                }
+            );
+            for e in &cache_by_exp {
+                eprintln!(
+                    "  {:<8} hits {:>6}  misses {:>6}  rate {:>5.1}%",
+                    e.experiment,
+                    e.hits,
+                    e.misses,
+                    e.hit_rate() * 100.0
+                );
+            }
+        }
         eprintln!(
             "congestion races closed: {}",
             beating_bgp::netsim::materialize_races_closed()
@@ -1059,7 +1303,7 @@ fn main() {
         );
     }
     if let Some(path) = &args.timing_json {
-        let report = perf_report(&args, wall_s, &sup_report);
+        let report = perf_report(&args, wall_s, &sup_report, cache_by_exp.clone());
         if let Err(e) = std::fs::write(path, report.to_json()) {
             eprintln!("--timing-json: cannot write {}: {e}", path.display());
             std::process::exit(1);

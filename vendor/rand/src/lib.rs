@@ -175,6 +175,9 @@ pub mod rngs {
     }
 
     impl RngCore for StdRng {
+        // The sample kernels issue tens of millions of draws per second;
+        // without the hint this stays an out-of-line cross-crate call.
+        #[inline]
         fn next_u64(&mut self) -> u64 {
             let s = &mut self.s;
             let result = s[0]
