@@ -47,6 +47,7 @@ pub const RULE_NAMES: &[&str] = &[
     "meta.jobs_independent",
     "meta.ablation_direction",
     "meta.shard_independent",
+    "meta.orchestrated_identity",
 ];
 
 /// Audit configuration.
@@ -218,6 +219,7 @@ pub fn run_audit(
         jobs_relation(opts.seed, poison("meta.jobs_independent")),
         ablation_relation(opts.seed, poison("meta.ablation_direction")),
         shard_relation(opts.seed, poison("meta.shard_independent")),
+        orchestrated_identity_relation(opts.seed, poison("meta.orchestrated_identity")),
     ];
     AuditReport {
         seed: opts.seed,
@@ -852,6 +854,83 @@ fn shard_relation(seed: u64, poison: bool) -> RuleReport {
     rule.finish()
 }
 
+/// `meta.orchestrated_identity`: the orchestrator's whole recovery ladder —
+/// a shard manifest torn mid-write, salvaged to its valid prefix, the
+/// dropped unit recomputed and re-recorded, shards merged — must reproduce
+/// the unsharded manifest byte-for-byte. Crash recovery may re-do work,
+/// never change bytes. Emulated in-process on a Test-scale spray with the
+/// exact primitives the binary uses: the tear is the chaos injector's
+/// (16 bytes off the tail), the recovery is `decode_salvaging`, and the
+/// poison corrupts the *re-recorded* unit — a recovery that recomputed
+/// different bytes.
+fn orchestrated_identity_relation(seed: u64, poison: bool) -> RuleReport {
+    use bb_core::checkpoint::{merge_shards, CampaignKey, Checkpoint, UnitResult};
+    let mut rule = Rule::new("meta.orchestrated_identity");
+    let s = Scenario::build(ScenarioConfig::facebook(seed ^ 0x_06c4, Scale::Test));
+    let ds = bb_measure::spray(
+        &s.topo,
+        &s.provider,
+        &s.workload,
+        &s.congestion,
+        None,
+        &mr_spray_cfg(),
+    );
+    let n = ds.rows.len();
+    rule.check(n >= 3, || format!("spray slice too small to shard: {n} rows"));
+    let unit = |lo: usize, hi: usize| UnitResult {
+        stdout: format!("{:?}\n", &ds.rows[lo.min(n)..hi.min(n)]),
+        files: vec![(format!("slice_{lo}.csv"), format!("{lo}..{hi}").into_bytes())],
+    };
+    let key = CampaignKey::new(seed, "test", "off", "u0,u1,u2", true);
+    // The unsharded reference manifest.
+    let mut full = Checkpoint::new(key.clone());
+    full.record("u0", unit(0, n / 3));
+    full.record("u1", unit(n / 3, 2 * n / 3));
+    full.record("u2", unit(2 * n / 3, n));
+    full.windows_done = 3;
+
+    // Shard A flushed u0 and u1, then its manifest was torn 16 bytes short
+    // (the chaos injector's exact damage): u1's trailing record is cut.
+    let mut a = Checkpoint::new(key.clone());
+    a.record("u0", full.units["u0"].clone());
+    a.record("u1", full.units["u1"].clone());
+    a.windows_done = 2;
+    let bytes = a.encode();
+    let (mut recovered, salvage) = match Checkpoint::decode_salvaging(&bytes[..bytes.len() - 16]) {
+        Ok(x) => x,
+        Err(e) => {
+            rule.check(false, || format!("salvage rejected the torn manifest: {e}"));
+            return rule.finish();
+        }
+    };
+    rule.check(salvage.is_some(), || {
+        "a 16-byte tear decoded clean — salvage saw no damage".to_string()
+    });
+    rule.check(
+        recovered.units.len() == 1 && recovered.units.contains_key("u0"),
+        || format!("salvage kept {:?}, expected exactly [u0]", recovered.units.keys()),
+    );
+    // The restarted worker recomputes the dropped unit and records it again.
+    let mut redone = full.units["u1"].clone();
+    if poison {
+        redone.stdout.push('x'); // recovery that recomputed different bytes
+    }
+    recovered.record("u1", redone);
+
+    // Shard B was healthy all along.
+    let mut b = Checkpoint::new(key);
+    b.record("u2", full.units["u2"].clone());
+    b.windows_done = 1;
+
+    match merge_shards(&[recovered, b]) {
+        Ok(merged) => rule.check(merged.encode() == full.encode(), || {
+            "salvaged-and-recovered merge differs from the unsharded manifest".to_string()
+        }),
+        Err(e) => rule.check(false, || format!("recovered merge rejected: {e}")),
+    }
+    rule.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -862,7 +941,7 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), RULE_NAMES.len());
-        assert_eq!(RULE_NAMES.len(), 11);
+        assert_eq!(RULE_NAMES.len(), 12);
     }
 
     #[test]
@@ -903,6 +982,7 @@ mod tests {
         assert!(faults_off_relation(11, false).passed());
         assert!(jobs_relation(11, false).passed());
         assert!(shard_relation(11, false).passed());
+        assert!(orchestrated_identity_relation(11, false).passed());
     }
 
     #[test]
@@ -910,6 +990,7 @@ mod tests {
         assert!(!faults_off_relation(11, true).passed());
         assert!(!jobs_relation(11, true).passed());
         assert!(!shard_relation(11, true).passed());
+        assert!(!orchestrated_identity_relation(11, true).passed());
     }
 
     #[test]
@@ -953,7 +1034,7 @@ mod tests {
         // Poison each invariant rule directly against the shared studies
         // (the metamorphic rules re-run whole Test slices, so their poison
         // path is covered by `metamorphic_poison_fires` above; the binary-
-        // level BB_AUDIT_VIOLATE loop in CI covers all eleven end to end).
+        // level BB_AUDIT_VIOLATE loop in CI covers all twelve end to end).
         let poisoned = [
             valley_free_rule(&fb, &egress, true),
             lightspeed_rule(&fb, &egress, &ms, &anycast, &gg, &tiers, true),

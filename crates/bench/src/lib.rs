@@ -111,6 +111,43 @@ pub struct SupervisionStats {
     pub budget_exhausted: bool,
 }
 
+/// Wall-clock and outcome of one orchestrated shard process, summed over
+/// all of its launches.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardWall {
+    /// Shard label, e.g. `shard 0/3`.
+    pub label: String,
+    /// Child launches performed (first launch + restarts).
+    pub attempts: u64,
+    /// Total wall-clock across all launches, seconds.
+    pub wall_s: f64,
+    /// Final outcome label: completed | failed | fatal | cancelled.
+    pub outcome: String,
+}
+
+/// Orchestration telemetry for `repro orchestrate`: how the process-level
+/// supervisor exercised. Emitted only by orchestrated runs — the key is
+/// absent from ordinary reports, keeping `bb-perf-report/v1` additive.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct OrchestrationStats {
+    /// Shard processes in the campaign.
+    pub shards: u64,
+    /// Total child launches across all shards.
+    pub attempts: u64,
+    /// Launches beyond each shard's first (crash/hang recoveries).
+    pub restarts: u64,
+    /// Nonzero child exits, signal deaths, and spawn errors observed.
+    pub crashes_detected: u64,
+    /// Stale-heartbeat kills.
+    pub hangs_detected: u64,
+    /// Torn shard manifests recovered by prefix salvage before resume.
+    pub salvages: u64,
+    /// True when a restart was denied because the campaign budget ran out.
+    pub budget_exhausted: bool,
+    /// Per-shard wall-clock and outcome, in shard order.
+    pub per_shard: Vec<ShardWall>,
+}
+
 /// Schema tag embedded in every report so downstream tooling can detect
 /// layout changes.
 pub const PERF_SCHEMA: &str = "bb-perf-report/v1";
@@ -146,6 +183,10 @@ pub struct PerfReport {
     pub faults: FaultStats,
     /// Supervised-retry telemetry (attempts, recoveries, drain skips).
     pub supervision: SupervisionStats,
+    /// Process-level orchestration telemetry (`repro orchestrate`). `None`
+    /// for ordinary runs; the JSON key is emitted only when present, so
+    /// existing report consumers and diffs are untouched.
+    pub orchestration: Option<OrchestrationStats>,
     /// Congestion-process double-materializations avoided by the
     /// write-lock double-check (nonzero only under `--jobs > 1`).
     pub congestion_races_closed: u64,
@@ -269,6 +310,34 @@ impl PerfReport {
             self.supervision.skipped,
             self.supervision.budget_exhausted
         ));
+
+        if let Some(orch) = &self.orchestration {
+            out.push_str(&format!(
+                "  \"orchestration\": {{\"shards\": {}, \"attempts\": {}, \"restarts\": {}, \
+                 \"crashes_detected\": {}, \"hangs_detected\": {}, \"salvages\": {}, \
+                 \"budget_exhausted\": {}, \"per_shard\": [",
+                orch.shards,
+                orch.attempts,
+                orch.restarts,
+                orch.crashes_detected,
+                orch.hangs_detected,
+                orch.salvages,
+                orch.budget_exhausted
+            ));
+            for (i, s) in orch.per_shard.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!(
+                    "{{\"label\": {}, \"attempts\": {}, \"wall_s\": {}, \"outcome\": {}}}",
+                    json_str(&s.label),
+                    s.attempts,
+                    json_f64(s.wall_s),
+                    json_str(&s.outcome)
+                ));
+            }
+            out.push_str("]},\n");
+        }
 
         json_kv_raw(
             &mut out,
@@ -399,6 +468,7 @@ mod tests {
                 skipped: 0,
                 budget_exhausted: false,
             },
+            orchestration: None,
             congestion_races_closed: 0,
         }
         .finalize()
@@ -452,6 +522,53 @@ mod tests {
         assert_eq!(j.matches('[').count(), j.matches(']').count());
         assert!(!j.contains(",\n}"), "trailing comma before object close");
         assert!(!j.contains(",\n  ]"), "trailing comma before array close");
+    }
+
+    #[test]
+    fn orchestration_section_is_emitted_only_when_present() {
+        // Ordinary runs: no key at all, so existing report diffs are stable.
+        let j = sample_report().to_json();
+        assert!(!j.contains("\"orchestration\""), "{j}");
+
+        let mut r = sample_report();
+        r.orchestration = Some(OrchestrationStats {
+            shards: 3,
+            attempts: 5,
+            restarts: 2,
+            crashes_detected: 1,
+            hangs_detected: 1,
+            salvages: 1,
+            budget_exhausted: false,
+            per_shard: vec![
+                ShardWall {
+                    label: "shard 0/3".into(),
+                    attempts: 1,
+                    wall_s: 1.25,
+                    outcome: "completed".into(),
+                },
+                ShardWall {
+                    label: "shard 1/3".into(),
+                    attempts: 2,
+                    wall_s: 2.5,
+                    outcome: "completed".into(),
+                },
+            ],
+        });
+        let j = r.to_json();
+        for key in [
+            "\"orchestration\": {\"shards\": 3",
+            "\"restarts\": 2",
+            "\"crashes_detected\": 1",
+            "\"hangs_detected\": 1",
+            "\"salvages\": 1",
+            "\"per_shard\": [",
+            "{\"label\": \"shard 0/3\", \"attempts\": 1, \"wall_s\": 1.25, \"outcome\": \"completed\"}",
+        ] {
+            assert!(j.contains(key), "missing {key} in:\n{j}");
+        }
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+        assert!(!j.contains(",\n}"), "trailing comma before object close");
     }
 
     #[test]

@@ -43,6 +43,32 @@
 //! <4096 raw bytes>\n
 //! end
 //! ```
+//!
+//! **Durability.** [`write_atomic_bytes`] gives the manifest the full
+//! crash-safety ladder: the bytes are written to a same-directory temp
+//! file, fsynced, renamed over the target, and then the *containing
+//! directory* is fsynced too — without that last step a power loss right
+//! after the rename can forget the directory entry and the manifest
+//! vanishes even though its blocks were on disk. Once `save` returns, the
+//! manifest survives a crash at any instant.
+//!
+//! **Salvage.** A manifest can still arrive torn when the filesystem
+//! itself tears it (power loss on a non-journaling filesystem, a partial
+//! copy between machines). Because units are appended in sorted order and
+//! every record is length-prefixed, such damage is always a *truncated
+//! tail*: [`Checkpoint::load_salvaging`] parses the valid prefix of unit
+//! records and reports the dropped trailing record as a [`Salvage`]
+//! instead of rejecting the whole manifest. Mid-record corruption (a
+//! checksum mismatch with the bytes fully present) is still rejected —
+//! that is damage, not truncation, and replaying it would violate the
+//! byte-identity contract.
+//!
+//! **Heartbeats.** Orchestrated shard runs (`repro orchestrate`) also
+//! keep a tiny `heartbeat.bbhb` record next to the manifest: progress
+//! counters plus a wall timestamp, rewritten atomically every few
+//! thousand measurement windows. The supervisor treats a heartbeat whose
+//! *content* stops changing as a hung shard; the file is advisory
+//! telemetry, never part of the campaign output.
 
 use crate::error::{BbError, BbResult};
 use crate::export::write_atomic_bytes;
@@ -60,6 +86,13 @@ pub const FORMAT: &str = "bbck/v1";
 /// stdout or CSV format changes, so checkpoints written by older builds are
 /// rejected instead of replaying stale bytes.
 pub const CODE_SCHEMA: u32 = 1;
+
+/// Heartbeat file name inside a checkpoint directory (liveness telemetry
+/// for `repro orchestrate`, never part of the campaign output).
+pub const HEARTBEAT_NAME: &str = "heartbeat.bbhb";
+
+/// On-disk format version of the heartbeat record.
+pub const HEARTBEAT_FORMAT: &str = "bbhb/v1";
 
 /// FNV-1a 64-bit hash — the checksum guarding every blob in the manifest.
 pub fn fnv1a(bytes: &[u8]) -> u64 {
@@ -235,102 +268,327 @@ impl Checkpoint {
         Self::decode(&bytes)
     }
 
-    /// Parse `bbck/v1` bytes.
+    /// Like [`Checkpoint::load`], but a manifest whose trailing record is
+    /// cut off at EOF loads the valid prefix instead of failing (see
+    /// [`Checkpoint::decode_salvaging`]).
+    pub fn load_salvaging(dir: &Path) -> BbResult<(Checkpoint, Option<Salvage>)> {
+        let path = dir.join(MANIFEST_NAME);
+        let bytes = std::fs::read(&path)
+            .map_err(|e| BbError::io(format!("read {}", path.display()), e))?;
+        Self::decode_salvaging(&bytes)
+    }
+
+    /// Parse `bbck/v1` bytes. Any damage — truncation included — is an
+    /// error; use [`Checkpoint::decode_salvaging`] to recover the valid
+    /// prefix of a torn manifest.
     pub fn decode(bytes: &[u8]) -> BbResult<Checkpoint> {
         let mut p = Parser { bytes, pos: 0 };
-        let version = p.line()?;
-        if version != FORMAT {
-            return Err(BbError::checkpoint(format!(
-                "unsupported format {version:?}, this build reads {FORMAT}"
-            )));
-        }
-        let seed: u64 = p.field("seed")?;
-        let scale = p.field_str("scale")?;
-        let faults = p.field_str("faults")?;
-        let experiments = p.field_str("experiments")?;
-        let csv = match p.field_str("csv")?.as_str() {
-            "1" => true,
-            "0" => false,
-            other => {
-                return Err(BbError::checkpoint(format!("bad csv flag {other:?}")));
-            }
-        };
-        let code_schema: u32 = p.field("code_schema")?;
-        let windows_done: u64 = p.field("windows_done")?;
-
+        let (key, windows_done) = parse_header(&mut p)?;
         let mut units = BTreeMap::new();
         loop {
-            let line = p.line()?;
-            if line == "end" {
-                break;
-            }
-            let mut tok = line.split(' ');
-            if tok.next() != Some("unit") {
-                return Err(BbError::checkpoint(format!(
-                    "expected `unit` or `end`, got {line:?}"
-                )));
-            }
-            let name = tok
-                .next()
-                .ok_or_else(|| BbError::checkpoint("unit line missing name"))?
-                .to_string();
-            let n_files: usize = parse_tok(tok.next(), "unit file count")?;
-            let stdout_len: usize = parse_tok(tok.next(), "unit stdout length")?;
-            let sum: u64 = parse_hex(tok.next(), "unit stdout checksum")?;
-            let stdout_bytes = p.blob(stdout_len, &name)?;
-            if fnv1a(stdout_bytes) != sum {
-                return Err(BbError::checkpoint(format!(
-                    "checksum mismatch in stdout of unit {name}"
-                )));
-            }
-            let stdout = String::from_utf8(stdout_bytes.to_vec()).map_err(|_| {
-                BbError::checkpoint(format!("unit {name} stdout is not UTF-8"))
-            })?;
-            let mut files = Vec::with_capacity(n_files);
-            for _ in 0..n_files {
-                let fline = p.line()?;
-                let mut ftok = fline.split(' ');
-                if ftok.next() != Some("file") {
-                    return Err(BbError::checkpoint(format!(
-                        "expected `file` in unit {name}, got {fline:?}"
-                    )));
+            match parse_unit(&mut p)? {
+                UnitParse::End => break,
+                UnitParse::Unit(name, unit) => {
+                    units.insert(name, unit);
                 }
-                let fname = ftok
-                    .next()
-                    .ok_or_else(|| BbError::checkpoint("file line missing name"))?
-                    .to_string();
-                let len: usize = parse_tok(ftok.next(), "file length")?;
-                let fsum: u64 = parse_hex(ftok.next(), "file checksum")?;
-                let blob = p.blob(len, &fname)?;
-                if fnv1a(blob) != fsum {
-                    return Err(BbError::checkpoint(format!(
-                        "checksum mismatch in file {fname} of unit {name}"
-                    )));
+                UnitParse::Torn(what) => {
+                    return Err(BbError::checkpoint(format!("truncated manifest ({what})")));
                 }
-                files.push((fname, blob.to_vec()));
             }
-            units.insert(
-                name,
-                UnitResult {
-                    stdout,
-                    files,
-                },
-            );
         }
-
         Ok(Checkpoint {
-            key: CampaignKey {
-                seed,
-                scale,
-                faults,
-                experiments,
-                csv,
-                code_schema,
-            },
+            key,
             units,
             windows_done,
         })
     }
+
+    /// Parse `bbck/v1` bytes, salvaging a torn tail.
+    ///
+    /// Truncation at EOF is the one kind of damage the format can prove
+    /// harmless to recover from: records are appended in sorted order and
+    /// every blob is length-prefixed, so a cut manifest is a valid prefix
+    /// followed by one incomplete trailing record. That record is dropped
+    /// and described in the returned [`Salvage`]; the kept units all passed
+    /// their checksums. Damage *within* the data — a checksum mismatch, a
+    /// malformed line with its bytes fully present, a torn header — is
+    /// still an error: replaying corrupt bytes would break byte-identity.
+    pub fn decode_salvaging(bytes: &[u8]) -> BbResult<(Checkpoint, Option<Salvage>)> {
+        let mut p = Parser { bytes, pos: 0 };
+        let (key, windows_done) = parse_header(&mut p)?;
+        let mut units = BTreeMap::new();
+        let salvage = loop {
+            let record_start = p.pos;
+            match parse_unit(&mut p)? {
+                UnitParse::End => break None,
+                UnitParse::Unit(name, unit) => {
+                    units.insert(name, unit);
+                }
+                UnitParse::Torn(dropped) => {
+                    break Some(Salvage {
+                        dropped,
+                        kept_units: units.len(),
+                        bytes_dropped: bytes.len() - record_start,
+                    });
+                }
+            }
+        };
+        Ok((
+            Checkpoint {
+                key,
+                units,
+                windows_done,
+            },
+            salvage,
+        ))
+    }
+}
+
+/// What [`Checkpoint::decode_salvaging`] recovered from a torn manifest:
+/// the valid prefix was kept, one incomplete trailing record was dropped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Salvage {
+    /// Human-readable description of the torn trailing record.
+    pub dropped: String,
+    /// Units that survived in the valid prefix (all checksums verified).
+    pub kept_units: usize,
+    /// Bytes discarded from the tail of the manifest.
+    pub bytes_dropped: usize,
+}
+
+impl std::fmt::Display for Salvage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "kept {} unit(s), dropped torn trailing record ({}; {} bytes discarded)",
+            self.kept_units, self.dropped, self.bytes_dropped
+        )
+    }
+}
+
+/// Parse the `bbck/v1` header lines. A torn header is never salvageable —
+/// without the full [`CampaignKey`] the prefix cannot be validated.
+fn parse_header(p: &mut Parser<'_>) -> BbResult<(CampaignKey, u64)> {
+    let version = p.line()?;
+    if version != FORMAT {
+        return Err(BbError::checkpoint(format!(
+            "unsupported format {version:?}, this build reads {FORMAT}"
+        )));
+    }
+    let seed: u64 = p.field("seed")?;
+    let scale = p.field_str("scale")?;
+    let faults = p.field_str("faults")?;
+    let experiments = p.field_str("experiments")?;
+    let csv = match p.field_str("csv")?.as_str() {
+        "1" => true,
+        "0" => false,
+        other => {
+            return Err(BbError::checkpoint(format!("bad csv flag {other:?}")));
+        }
+    };
+    let code_schema: u32 = p.field("code_schema")?;
+    let windows_done: u64 = p.field("windows_done")?;
+    Ok((
+        CampaignKey {
+            seed,
+            scale,
+            faults,
+            experiments,
+            csv,
+            code_schema,
+        },
+        windows_done,
+    ))
+}
+
+/// One record from the unit section of a manifest.
+enum UnitParse {
+    Unit(String, UnitResult),
+    End,
+    /// The trailing record runs past EOF — truncation, the only damage
+    /// [`Checkpoint::decode_salvaging`] recovers from. Carries a
+    /// description of what was cut. Corruption with the bytes fully
+    /// present (checksum mismatch, malformed line) is an `Err` instead.
+    Torn(String),
+}
+
+fn parse_unit(p: &mut Parser<'_>) -> BbResult<UnitParse> {
+    let line = match p.line_opt()? {
+        Some(line) => line,
+        None => return Ok(UnitParse::Torn("record header cut at EOF".to_string())),
+    };
+    if line == "end" {
+        return Ok(UnitParse::End);
+    }
+    let mut tok = line.split(' ');
+    if tok.next() != Some("unit") {
+        return Err(BbError::checkpoint(format!(
+            "expected `unit` or `end`, got {line:?}"
+        )));
+    }
+    let name = tok
+        .next()
+        .ok_or_else(|| BbError::checkpoint("unit line missing name"))?
+        .to_string();
+    let n_files: usize = parse_tok(tok.next(), "unit file count")?;
+    let stdout_len: usize = parse_tok(tok.next(), "unit stdout length")?;
+    let sum: u64 = parse_hex(tok.next(), "unit stdout checksum")?;
+    let stdout_bytes = match p.blob_opt(stdout_len, &name)? {
+        Some(blob) => blob,
+        None => {
+            return Ok(UnitParse::Torn(format!(
+                "stdout blob of unit {name} cut at EOF"
+            )));
+        }
+    };
+    if fnv1a(stdout_bytes) != sum {
+        return Err(BbError::checkpoint(format!(
+            "checksum mismatch in stdout of unit {name}"
+        )));
+    }
+    let stdout = String::from_utf8(stdout_bytes.to_vec())
+        .map_err(|_| BbError::checkpoint(format!("unit {name} stdout is not UTF-8")))?;
+    let mut files = Vec::with_capacity(n_files);
+    for _ in 0..n_files {
+        let fline = match p.line_opt()? {
+            Some(line) => line,
+            None => {
+                return Ok(UnitParse::Torn(format!(
+                    "file record of unit {name} cut at EOF"
+                )));
+            }
+        };
+        let mut ftok = fline.split(' ');
+        if ftok.next() != Some("file") {
+            return Err(BbError::checkpoint(format!(
+                "expected `file` in unit {name}, got {fline:?}"
+            )));
+        }
+        let fname = ftok
+            .next()
+            .ok_or_else(|| BbError::checkpoint("file line missing name"))?
+            .to_string();
+        let len: usize = parse_tok(ftok.next(), "file length")?;
+        let fsum: u64 = parse_hex(ftok.next(), "file checksum")?;
+        let blob = match p.blob_opt(len, &fname)? {
+            Some(blob) => blob,
+            None => {
+                return Ok(UnitParse::Torn(format!(
+                    "blob of file {fname} in unit {name} cut at EOF"
+                )));
+            }
+        };
+        if fnv1a(blob) != fsum {
+            return Err(BbError::checkpoint(format!(
+                "checksum mismatch in file {fname} of unit {name}"
+            )));
+        }
+        files.push((fname, blob.to_vec()));
+    }
+    Ok(UnitParse::Unit(name, UnitResult { stdout, files }))
+}
+
+/// Per-shard liveness record for orchestrated runs: progress counters plus
+/// a wall timestamp, rewritten next to the manifest every few thousand
+/// measurement windows. Advisory telemetry only — the orchestrator detects
+/// a hung shard by watching the *content* stop changing against its own
+/// monotonic clock, so the timestamp never needs clock agreement between
+/// writer and watcher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Heartbeat {
+    /// Measurement windows completed so far in this shard process.
+    pub windows_done: u64,
+    /// Units (experiments) finalized so far in this shard process.
+    pub units_done: u64,
+    /// Wall clock at write time, milliseconds since the Unix epoch.
+    pub stamp_ms: u64,
+}
+
+impl Heartbeat {
+    /// A heartbeat stamped with the current wall clock.
+    pub fn now(windows_done: u64, units_done: u64) -> Self {
+        let stamp_ms = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        Self {
+            windows_done,
+            units_done,
+            stamp_ms,
+        }
+    }
+
+    pub fn encode(&self) -> Vec<u8> {
+        format!(
+            "{HEARTBEAT_FORMAT}\nwindows {}\nunits {}\nstamp_ms {}\n",
+            self.windows_done, self.units_done, self.stamp_ms
+        )
+        .into_bytes()
+    }
+
+    pub fn decode(bytes: &[u8]) -> BbResult<Heartbeat> {
+        let text = std::str::from_utf8(bytes)
+            .map_err(|_| BbError::checkpoint("heartbeat is not UTF-8"))?;
+        let mut lines = text.lines();
+        match lines.next() {
+            Some(v) if v == HEARTBEAT_FORMAT => {}
+            other => {
+                return Err(BbError::checkpoint(format!(
+                    "bad heartbeat header {other:?}, this build reads {HEARTBEAT_FORMAT}"
+                )));
+            }
+        }
+        let windows_done = heartbeat_field(lines.next(), "windows")?;
+        let units_done = heartbeat_field(lines.next(), "units")?;
+        let stamp_ms = heartbeat_field(lines.next(), "stamp_ms")?;
+        Ok(Heartbeat {
+            windows_done,
+            units_done,
+            stamp_ms,
+        })
+    }
+
+    /// Atomically replace the heartbeat in `dir` (temp file + rename, so a
+    /// reader never sees a half-written record). Deliberately *not* fsynced:
+    /// a heartbeat is a liveness signal consumed by a live watcher on the
+    /// same system, where rename alone guarantees readers see whole records
+    /// — durability after power loss buys nothing, and paying the manifest
+    /// writer's sync cost every beat would make heartbeats expensive enough
+    /// to throttle.
+    pub fn save(&self, dir: &Path) -> BbResult<()> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| BbError::io(format!("create checkpoint dir {}", dir.display()), e))?;
+        let path = dir.join(HEARTBEAT_NAME);
+        let tmp = dir.join(format!("{HEARTBEAT_NAME}.tmp"));
+        std::fs::write(&tmp, self.encode())
+            .map_err(|e| BbError::io(format!("write {}", tmp.display()), e))?;
+        std::fs::rename(&tmp, &path)
+            .map_err(|e| BbError::io(format!("rename {} -> {}", tmp.display(), path.display()), e))
+    }
+
+    /// Load the heartbeat from `dir`. Missing file is [`BbError::Io`].
+    pub fn load(dir: &Path) -> BbResult<Heartbeat> {
+        let path = dir.join(HEARTBEAT_NAME);
+        let bytes = std::fs::read(&path)
+            .map_err(|e| BbError::io(format!("read {}", path.display()), e))?;
+        Self::decode(&bytes)
+    }
+}
+
+fn heartbeat_field(line: Option<&str>, name: &str) -> BbResult<u64> {
+    let line = line
+        .ok_or_else(|| BbError::checkpoint(format!("heartbeat missing {name} line")))?;
+    let (key, value) = line
+        .split_once(' ')
+        .ok_or_else(|| BbError::checkpoint(format!("malformed heartbeat {name} line {line:?}")))?;
+    if key != name {
+        return Err(BbError::checkpoint(format!(
+            "expected heartbeat {name} line, got {line:?}"
+        )));
+    }
+    value
+        .parse()
+        .map_err(|_| BbError::checkpoint(format!("bad heartbeat {name} value")))
 }
 
 /// Stitch shard checkpoints back into one campaign checkpoint.
@@ -416,14 +674,22 @@ struct Parser<'a> {
 impl<'a> Parser<'a> {
     /// Next `\n`-terminated header line as UTF-8 (without the newline).
     fn line(&mut self) -> BbResult<String> {
+        self.line_opt()?
+            .ok_or_else(|| BbError::checkpoint("truncated manifest (missing newline)"))
+    }
+
+    /// Like [`Parser::line`], but truncation (no newline before EOF) is
+    /// `Ok(None)` so callers can tell a torn tail from corrupt data. A
+    /// complete line that is not UTF-8 is still an error.
+    fn line_opt(&mut self) -> BbResult<Option<String>> {
         let rest = &self.bytes[self.pos..];
-        let nl = rest
-            .iter()
-            .position(|&b| b == b'\n')
-            .ok_or_else(|| BbError::checkpoint("truncated manifest (missing newline)"))?;
+        let Some(nl) = rest.iter().position(|&b| b == b'\n') else {
+            return Ok(None);
+        };
         let line = &rest[..nl];
         self.pos += nl + 1;
         String::from_utf8(line.to_vec())
+            .map(Some)
             .map_err(|_| BbError::checkpoint("non-UTF-8 header line"))
     }
 
@@ -448,12 +714,13 @@ impl<'a> Parser<'a> {
         Ok(value.to_string())
     }
 
-    /// `len` raw bytes followed by a `\n` separator.
-    fn blob(&mut self, len: usize, what: &str) -> BbResult<&'a [u8]> {
+    /// `len` raw bytes followed by a `\n` separator. A blob running past
+    /// EOF (truncation) is `Ok(None)` so callers can tell a torn tail from
+    /// corrupt data; a wrong terminator byte with the data fully present
+    /// means a bad length prefix — corruption, an error.
+    fn blob_opt(&mut self, len: usize, what: &str) -> BbResult<Option<&'a [u8]>> {
         if self.pos + len + 1 > self.bytes.len() {
-            return Err(BbError::checkpoint(format!(
-                "truncated manifest inside blob for {what}"
-            )));
+            return Ok(None);
         }
         let blob = &self.bytes[self.pos..self.pos + len];
         if self.bytes[self.pos + len] != b'\n' {
@@ -462,7 +729,7 @@ impl<'a> Parser<'a> {
             )));
         }
         self.pos += len + 1;
-        Ok(blob)
+        Ok(Some(blob))
     }
 }
 
@@ -591,6 +858,95 @@ mod tests {
                 "cut at {cut} must not parse"
             );
         }
+    }
+
+    #[test]
+    fn torn_trailing_record_is_salvaged() {
+        let ck = sample();
+        let bytes = ck.encode();
+
+        // Intact manifest: no salvage, everything kept.
+        let (full, salvage) = Checkpoint::decode_salvaging(&bytes).unwrap();
+        assert!(salvage.is_none());
+        assert_eq!(full.units, ck.units);
+
+        // Cut inside the trailing unit's last blob: the valid prefix
+        // (calib — units are sorted, fig1 is trailing) survives.
+        let (pre, salvage) = Checkpoint::decode_salvaging(&bytes[..bytes.len() - 5]).unwrap();
+        let salvage = salvage.expect("torn tail must be reported");
+        assert_eq!(salvage.kept_units, 1);
+        assert!(pre.units.contains_key("calib"));
+        assert!(!pre.units.contains_key("fig1"));
+        assert_eq!(pre.key, ck.key);
+        assert!(salvage.bytes_dropped > 0);
+
+        // Cut exactly before the `end` marker: all units survive, only the
+        // terminator record is reported dropped.
+        let (all, salvage) = Checkpoint::decode_salvaging(&bytes[..bytes.len() - 4]).unwrap();
+        assert_eq!(all.units, ck.units);
+        let salvage = salvage.expect("missing end marker is a torn tail");
+        assert_eq!(salvage.kept_units, 2);
+        assert!(salvage.dropped.contains("cut at EOF"), "{}", salvage.dropped);
+
+        // Every cut point after the header yields a valid (possibly empty)
+        // prefix, never an error.
+        let header_len = bytes
+            .windows(5)
+            .position(|w| w == b"unit ")
+            .unwrap();
+        for cut in header_len..bytes.len() {
+            let (pre, _) = Checkpoint::decode_salvaging(&bytes[..cut])
+                .unwrap_or_else(|e| panic!("cut at {cut} must salvage, got {e}"));
+            assert!(pre.units.len() <= 2);
+        }
+
+        // A torn *header* is not salvageable: without the full key the
+        // prefix cannot be validated against the campaign.
+        assert!(Checkpoint::decode_salvaging(&bytes[..3]).is_err());
+        assert!(Checkpoint::decode_salvaging(b"bbck/v1\nseed 42\n").is_err());
+    }
+
+    #[test]
+    fn corruption_is_not_salvaged() {
+        let ck = sample();
+        let mut bytes = ck.encode();
+        // Checksum mismatch with the bytes fully present: damage, not
+        // truncation — salvaging decode must reject it like strict decode.
+        let needle = b"point,1,0.5";
+        let at = bytes
+            .windows(needle.len())
+            .position(|w| w == needle)
+            .unwrap();
+        bytes[at] ^= 0x20;
+        let err = Checkpoint::decode_salvaging(&bytes).unwrap_err().to_string();
+        assert!(err.contains("checksum mismatch"), "{err}");
+    }
+
+    #[test]
+    fn heartbeat_roundtrip_and_atomic_save() {
+        let hb = Heartbeat {
+            windows_done: 123_456,
+            units_done: 7,
+            stamp_ms: 1_700_000_000_000,
+        };
+        assert_eq!(Heartbeat::decode(&hb.encode()).unwrap(), hb);
+
+        let dir = std::env::temp_dir().join(format!("bb_hb_test_{}", std::process::id()));
+        hb.save(&dir).unwrap();
+        assert!(!dir.join(format!("{HEARTBEAT_NAME}.tmp")).exists());
+        assert_eq!(Heartbeat::load(&dir).unwrap(), hb);
+        // Overwrite in place — the watcher always reads a whole record.
+        let hb2 = Heartbeat {
+            windows_done: 200_000,
+            ..hb
+        };
+        hb2.save(&dir).unwrap();
+        assert_eq!(Heartbeat::load(&dir).unwrap(), hb2);
+        std::fs::remove_dir_all(&dir).ok();
+
+        assert!(Heartbeat::decode(b"bbhb/v99\nwindows 1\n").is_err());
+        assert!(Heartbeat::decode(b"bbhb/v1\nwindows x\n").is_err());
+        assert!(Heartbeat::load(Path::new("/nonexistent_bb_hb")).is_err());
     }
 
     #[test]

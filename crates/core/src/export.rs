@@ -31,6 +31,13 @@ pub fn csv_field(s: &str) -> String {
 /// suffix so concurrent exports to different files never collide. Shared
 /// by the CSV exporters, the checkpoint manifest writer, and the harness's
 /// replay path — everything that must never leave a torn file behind.
+///
+/// Durability ladder: the temp file is fsynced before the rename (so the
+/// new name can never point at unwritten blocks), and the containing
+/// directory is fsynced after it — the rename itself lives in the
+/// directory's metadata, and without that second sync a power loss right
+/// after this function returns can roll the directory entry back, making
+/// the file vanish even though its data blocks reached disk.
 pub fn write_atomic_bytes(path: &Path, bytes: &[u8]) -> BbResult<()> {
     let label = path.display().to_string();
     let mut tmp = path.as_os_str().to_owned();
@@ -45,6 +52,18 @@ pub fn write_atomic_bytes(path: &Path, bytes: &[u8]) -> BbResult<()> {
     drop(f);
     std::fs::rename(&tmp, path)
         .map_err(|e| BbError::io(format!("rename {} -> {label}", tmp.display()), e))?;
+    #[cfg(unix)]
+    {
+        // Persist the rename: fsync the directory holding the new entry.
+        // Unix-only — opening a directory for sync is not portable, and the
+        // rename's atomicity (the visible guarantee) holds regardless.
+        let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+        if let Some(dir) = dir {
+            std::fs::File::open(dir)
+                .and_then(|d| d.sync_all())
+                .map_err(|e| BbError::io(format!("sync dir {}", dir.display()), e))?;
+        }
+    }
     Ok(())
 }
 

@@ -24,6 +24,7 @@
 use bb_bgp::{compute_routes, Announcement, Offer, RoutingTable};
 use bb_topology::{InterconnectId, Topology};
 
+pub mod orchestrator;
 pub mod supervisor;
 use parking_lot::RwLock;
 use std::collections::HashMap;

@@ -25,6 +25,11 @@
 //! only telemetry and how often a deterministic failure is retried — never
 //! the value a successful item produces — so stdout/CSV byte-identity
 //! across `--jobs` is preserved.
+//!
+//! The same retry-budget/ledger design exists one level up in
+//! [`orchestrator`](crate::orchestrator), which supervises whole shard
+//! *processes* (crash/hang detection via heartbeats, checkpoint-resumed
+//! restarts) instead of in-process work items.
 
 use crate::{jobs, run_attempt, ItemFailure};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};

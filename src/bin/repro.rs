@@ -4,7 +4,9 @@
 //! repro [EXPERIMENT] [--scale test|full|large] [--seed N] [--jobs N] [--timing]
 //!       [--faults off|light|heavy] [--keep-going]
 //!       [--checkpoint DIR] [--resume DIR] [--shard I/N]
-//! repro merge SHARD_DIR... [--csv DIR]
+//! repro merge SHARD_DIR... [--csv DIR] [--report]
+//! repro orchestrate N [--dir DIR] [--scale ...] [--seed N] [--csv DIR]
+//!       [--chaos off|light|heavy] [--hang-timeout SECS] [--timing-json PATH]
 //!
 //! EXPERIMENT: all (default) | fig1 | fig2 | s311 | fig3 | fig4 | fig5 |
 //!             calib | goodput | xpeer | xgroom | xsites | xonenet | xsplit |
@@ -13,10 +15,25 @@
 //!
 //! Exit codes: 0 = every selected experiment succeeded; 1 = a runtime
 //! failure (an experiment errored or panicked — with `--keep-going` the
-//! survivors still print — or an `audit` rule violated); 2 = usage error
-//! (bad flag value, unknown experiment, conflicting flags, stale
-//! checkpoint); 130 = interrupted (SIGINT/SIGTERM drain — resumable when
-//! `--checkpoint` was set).
+//! survivors still print — an `audit` rule violated, or an orchestrated
+//! shard exhausted its restarts); 2 = usage error (bad flag value, unknown
+//! experiment, conflicting flags, stale checkpoint); 130 = interrupted
+//! (SIGINT/SIGTERM drain — resumable when `--checkpoint` was set; an
+//! orchestrated run kills its children and is resumable the same way).
+//!
+//! `repro orchestrate N` is the self-healing way to run a sharded
+//! campaign: it spawns the N shard runs as child processes, watches each
+//! child's heartbeat file (`heartbeat.bbhb`, progress counters rewritten
+//! atomically during the run), and classifies failures as crashes (nonzero
+//! exit), hangs (heartbeat content stale past `--hang-timeout`), or fatal
+//! usage errors (exit 2, never retried). Crashed and hung shards are
+//! restarted with bounded, seed-keyed backoff; every restart resumes from
+//! that shard's own checkpoint — torn manifests are salvaged to their
+//! valid prefix first — so the auto-invoked merge at the end is
+//! byte-identical to an unsharded run no matter how many workers died.
+//! `--chaos light|heavy` turns on a deterministic process-level fault
+//! injector (children crashed, stalled, and one manifest torn, all keyed
+//! on the seed) so the recovery machinery can be exercised reproducibly.
 //!
 //! `repro audit` builds the same shared worlds and studies as the figures
 //! and sweeps them through `bb-audit`'s invariant rules (valley-free
@@ -62,7 +79,7 @@ use beating_bgp::core::ext::{
     availability, ecs, fabric, grooming, hybrid, peering_reduction, single_network, site_count,
     split_tcp,
 };
-use beating_bgp::core::checkpoint::{CampaignKey, Checkpoint, UnitResult};
+use beating_bgp::core::checkpoint::{CampaignKey, Checkpoint, Heartbeat, UnitResult};
 use beating_bgp::core::{calibration, study_anycast, study_egress, study_tiers};
 use beating_bgp::core::{BbResult, Scale, Scenario, ScenarioConfig};
 use beating_bgp::exec::supervisor::{self, SupervisionReport};
@@ -72,6 +89,14 @@ use beating_bgp::measure::{BeaconConfig, ProbeConfig, SprayConfig};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+
+/// Names of every experiment in `repro all`, in output order. Must match
+/// the `experiments` vec in `main` (debug-asserted there); `run_orchestrate`
+/// slices this list to plan shard chaos without building the closures.
+const EXPERIMENT_NAMES: [&str; 18] = [
+    "calib", "fig1", "fig2", "s311", "fig3", "fig4", "fig5", "goodput", "xonenet", "xpeer",
+    "xgroom", "xsites", "xecs", "xavail", "xhybrid", "xfabric", "xablate", "xsplit",
+];
 
 struct Args {
     experiment: String,
@@ -249,7 +274,9 @@ fn parse_args() -> Args {
                      [--timing] [--timing-json PATH] [--csv DIR] \
                      [--faults off|light|heavy] [--keep-going] \
                      [--checkpoint DIR] [--resume DIR] [--shard I/N]\n\
-                     repro merge SHARD_DIR... [--csv DIR]\n\
+                     repro merge SHARD_DIR... [--csv DIR] [--report]\n\
+                     repro orchestrate N [--dir DIR] [--chaos off|light|heavy] \
+                     [--hang-timeout SECS]\n\
                      experiments: all fig1 fig2 s311 fig3 fig4 fig5 calib goodput \
                      xpeer xgroom xsites xonenet xsplit xablate xavail xhybrid xfabric xecs audit\n\
                      audit      sweep the built worlds and studies through bb-audit's\n\
@@ -273,10 +300,13 @@ fn parse_args() -> Args {
                      {:11}checkpoint (no stdout); `repro merge` stitches the shards\n\
                      {:11}byte-identically to the unsharded run\n\
                      merge DIR...  validate + merge shard checkpoints, print the\n\
-                     {:11}campaign stdout; --csv re-emits the captured exports\n\
+                     {:11}campaign stdout; --csv re-emits the captured exports;\n\
+                     {:11}--report prints a per-shard diagnosis on failure\n\
+                     orchestrate N  spawn N supervised shard processes, restart\n\
+                     {:11}crashed/hung ones from their checkpoints, auto-merge\n\
                      exit codes: 0 ok, 1 runtime failure, 2 usage error, \
                      130 interrupted (resumable)",
-                    "", "", "", "", "", "", "", "", "", "", "", ""
+                    "", "", "", "", "", "", "", "", "", "", "", "", "", ""
                 );
                 std::process::exit(0);
             }
@@ -396,6 +426,7 @@ fn perf_report(
             skipped: supervision.count("skipped") as u64,
             budget_exhausted: supervision.budget_exhausted,
         },
+        orchestration: None,
         congestion_races_closed: beating_bgp::netsim::materialize_races_closed() as u64,
     }
     .finalize()
@@ -418,16 +449,20 @@ fn spray_cfg(scale: Scale) -> SprayConfig {
     }
 }
 
-/// `repro merge SHARD_DIR... [--csv DIR]`: stitch shard checkpoints into
-/// the campaign's stdout, byte-identical to the unsharded run. Every
-/// validation failure — unreadable manifest, mismatched campaign keys,
-/// coverage gaps, conflicting duplicate units, schema drift — is a usage
-/// error (exit 2); a partial merge is never printed.
+/// `repro merge SHARD_DIR... [--csv DIR] [--report]`: stitch shard
+/// checkpoints into the campaign's stdout, byte-identical to the unsharded
+/// run. Every validation failure — unreadable manifest, mismatched
+/// campaign keys, coverage gaps, conflicting duplicate units, schema
+/// drift — is a usage error (exit 2); a partial merge is never printed.
+/// With `--report`, a per-shard diagnosis (salvaged/unreadable manifests,
+/// key mismatches, which experiments are missing) is printed to stderr
+/// before any exit-2, instead of only the first error encountered.
 fn run_merge() -> ! {
     use beating_bgp::core::checkpoint;
     let argv: Vec<String> = std::env::args().skip(2).collect();
     let mut dirs: Vec<std::path::PathBuf> = Vec::new();
     let mut csv_dir: Option<std::path::PathBuf> = None;
+    let mut report = false;
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
@@ -443,12 +478,15 @@ fn run_merge() -> ! {
                 }
                 csv_dir = Some(dir);
             }
+            "--report" => report = true,
             "--help" | "-h" => {
                 println!(
-                    "repro merge SHARD_DIR... [--csv DIR]\n\
+                    "repro merge SHARD_DIR... [--csv DIR] [--report]\n\
                      stitch shard checkpoints (written by `repro --shard I/N --checkpoint`)\n\
                      into the campaign's stdout, byte-identical to the unsharded run;\n\
                      --csv re-emits the CSV exports captured in the shard manifests\n\
+                     --report prints a per-shard diagnosis (salvaged/corrupt manifests,\n\
+                     missing experiments, key mismatches) before any failure exit\n\
                      exit codes: 0 ok, 2 shards invalid/incomplete/mismatched"
                 );
                 std::process::exit(0);
@@ -465,28 +503,114 @@ fn run_merge() -> ! {
         eprintln!("repro merge: no shard directories given");
         std::process::exit(2);
     }
-    let shards: Vec<checkpoint::Checkpoint> = dirs
-        .iter()
-        .map(|d| {
-            checkpoint::Checkpoint::load(d).unwrap_or_else(|e| {
-                eprintln!("repro merge: {}: {e}", d.display());
-                std::process::exit(2);
+    let shards: Vec<checkpoint::Checkpoint> = if report {
+        merge_report(&dirs)
+    } else {
+        dirs.iter()
+            .map(|d| {
+                checkpoint::Checkpoint::load(d).unwrap_or_else(|e| {
+                    eprintln!("repro merge: {}: {e}", d.display());
+                    std::process::exit(2);
+                })
             })
-        })
+            .collect()
+    };
+    finish_merge("repro merge", &dirs, shards, csv_dir.as_deref())
+}
+
+/// The `--report` loading path: examine every shard directory with the
+/// salvaging parser, print a per-shard diagnosis to stderr (load status,
+/// units present, key mismatches, campaign-level coverage gaps), then
+/// either return the usable manifests or exit 2 if any was unreadable.
+/// Salvaged manifests proceed with their valid prefix — when the other
+/// shards overlap the dropped units, the merge still completes.
+fn merge_report(dirs: &[std::path::PathBuf]) -> Vec<Checkpoint> {
+    use beating_bgp::core::checkpoint::Salvage;
+    let loads: Vec<Result<(Checkpoint, Option<Salvage>), String>> = dirs
+        .iter()
+        .map(|d| Checkpoint::load_salvaging(d).map_err(|e| e.to_string()))
         .collect();
+    eprintln!("[repro] merge report ({} shard dir(s)):", dirs.len());
+    for (d, load) in dirs.iter().zip(&loads) {
+        match load {
+            Ok((ck, None)) => {
+                let names: Vec<&str> = ck.units.keys().map(String::as_str).collect();
+                eprintln!(
+                    "  {}: ok — {} unit(s): {}",
+                    d.display(),
+                    ck.units.len(),
+                    if names.is_empty() { "(none)".to_string() } else { names.join(",") }
+                );
+            }
+            Ok((ck, Some(s))) => {
+                eprintln!(
+                    "  {}: SALVAGED — {s}; {} unit(s) usable",
+                    d.display(),
+                    ck.units.len()
+                );
+            }
+            Err(e) => eprintln!("  {}: UNREADABLE — {e}", d.display()),
+        }
+    }
+    // Campaign-level view against the first readable key: which
+    // experiments no shard provides, and which shards disagree on the key.
+    if let Some((first, _)) = loads.iter().flatten().next() {
+        for (d, load) in dirs.iter().zip(&loads) {
+            if let Ok((ck, _)) = load {
+                if let Err(e) = ck.validate(&first.key) {
+                    eprintln!("  {}: key mismatch — {e}", d.display());
+                }
+            }
+        }
+        let missing: Vec<&str> = first
+            .key
+            .experiments
+            .split(',')
+            .filter(|e| {
+                !e.is_empty()
+                    && !loads
+                        .iter()
+                        .flatten()
+                        .any(|(ck, _)| ck.units.contains_key(*e))
+            })
+            .collect();
+        if missing.is_empty() {
+            eprintln!("  campaign: all {} experiments covered", first.key.experiments.split(',').count());
+        } else {
+            eprintln!("  campaign: missing {}", missing.join(","));
+        }
+    }
+    let unreadable = loads.iter().filter(|l| l.is_err()).count();
+    if unreadable > 0 {
+        eprintln!("repro merge: {unreadable} shard manifest(s) unreadable");
+        std::process::exit(2);
+    }
+    loads.into_iter().map(|l| l.unwrap().0).collect()
+}
+
+/// Validate and merge loaded shard manifests, emit the campaign stdout
+/// (and captured CSVs), and exit. Shared by `repro merge` and the
+/// auto-merge at the end of `repro orchestrate`. Merge failures exit 2.
+fn finish_merge(
+    who: &str,
+    dirs: &[std::path::PathBuf],
+    shards: Vec<Checkpoint>,
+    csv_dir: Option<&std::path::Path>,
+) -> ! {
+    use beating_bgp::core::checkpoint;
     // `merge_shards` checks the shards against *each other*; the binary's
     // own schema must match too, or the stitched bytes would claim to be
     // this build's output.
     if shards[0].key.code_schema != checkpoint::CODE_SCHEMA {
         eprintln!(
-            "repro merge: manifest code_schema {} does not match this binary ({})",
+            "{who}: manifest code_schema {} does not match this binary ({})",
             shards[0].key.code_schema,
             checkpoint::CODE_SCHEMA
         );
         std::process::exit(2);
     }
     let merged = checkpoint::merge_shards(&shards).unwrap_or_else(|e| {
-        eprintln!("repro merge: {e}");
+        eprintln!("{who}: {e}");
         std::process::exit(2);
     });
     // Coverage is guaranteed by merge_shards, so assembling in the key's
@@ -503,7 +627,7 @@ fn run_merge() -> ! {
                 if let Err(e) =
                     beating_bgp::core::export::write_atomic_bytes(&dir.join(fname), bytes)
                 {
-                    eprintln!("repro merge: writing {fname}: {e}");
+                    eprintln!("{who}: writing {fname}: {e}");
                     std::process::exit(1);
                 }
             }
@@ -521,9 +645,476 @@ fn run_merge() -> ! {
     std::process::exit(0);
 }
 
+/// `repro orchestrate N`: the self-healing way to run a sharded campaign.
+///
+/// Spawns one `repro all --shard I/N --checkpoint` child per shard, watches
+/// heartbeats, restarts crashed/hung children from their own checkpoints
+/// (salvaging torn manifests first), then auto-merges — stdout is
+/// byte-identical to the unsharded run. `--chaos light|heavy` switches on a
+/// deterministic fault plan, keyed entirely on the seed:
+///
+/// * **light** — one derived shard crashes (exit 101) partway through its
+///   slice on its first launch.
+/// * **heavy** — one derived shard stalls (10-minute sleep → stale
+///   heartbeat → killed), every other shard crashes partway through, and
+///   the first crashed shard's manifest is torn by 16 bytes before its
+///   restart, forcing the salvage path.
+///
+/// Faults are injected only into each shard's *first* launch (via the
+/// child env hooks `BB_REPRO_CRASH` / `BB_REPRO_STALL`), and a crash can
+/// only fire after a finalized unit was flushed — so every chaos plan
+/// terminates, and recovery always has progress to resume from.
+fn run_orchestrate() -> ! {
+    use beating_bgp::core::checkpoint::{HEARTBEAT_NAME, MANIFEST_NAME};
+    use beating_bgp::exec::derive_seed;
+    use beating_bgp::exec::orchestrator::{orchestrate, OrchestratorPolicy, ShardSpec};
+    use std::process::{Command, Stdio};
+
+    #[derive(Clone, Copy, PartialEq)]
+    enum Chaos {
+        Off,
+        Light,
+        Heavy,
+    }
+    /// Fault injected into one shard's first launch.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Fault {
+        None,
+        /// `BB_REPRO_CRASH`: exit 101 after this many finalized units.
+        Crash { after_units: usize },
+        /// `BB_REPRO_STALL`: sleep before this experiment, attempt 0 only.
+        Stall { exp: &'static str },
+    }
+
+    let argv: Vec<String> = std::env::args().skip(2).collect();
+    let mut n: Option<usize> = None;
+    let mut base: Option<std::path::PathBuf> = None;
+    let mut scale = "full".to_string();
+    let mut seed = 42u64;
+    let mut jobs: Option<usize> = None;
+    let mut faults = "off".to_string();
+    let mut csv_dir: Option<std::path::PathBuf> = None;
+    let mut chaos = Chaos::Off;
+    let mut hang_timeout = 30.0f64;
+    let mut timing_json: Option<std::path::PathBuf> = None;
+    let need = |i: &mut usize, what: &str| -> String {
+        *i += 1;
+        argv.get(*i).cloned().unwrap_or_else(|| {
+            eprintln!("{what} needs a value");
+            std::process::exit(2);
+        })
+    };
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--dir" => base = Some(std::path::PathBuf::from(need(&mut i, "--dir"))),
+            "--scale" => {
+                scale = need(&mut i, "--scale");
+                if !matches!(scale.as_str(), "test" | "full" | "large") {
+                    eprintln!("unknown scale {scale:?}; use test|full|large");
+                    std::process::exit(2);
+                }
+            }
+            "--seed" => {
+                seed = need(&mut i, "--seed").parse().unwrap_or_else(|_| {
+                    eprintln!("--seed needs a number");
+                    std::process::exit(2);
+                });
+            }
+            "--jobs" => {
+                jobs = Some(need(&mut i, "--jobs").parse().unwrap_or_else(|_| {
+                    eprintln!("--jobs needs a number");
+                    std::process::exit(2);
+                }));
+            }
+            "--faults" => {
+                faults = need(&mut i, "--faults");
+                if faults.parse::<FaultLevel>().is_err() {
+                    eprintln!("--faults: unknown level {faults:?}; use off|light|heavy");
+                    std::process::exit(2);
+                }
+            }
+            "--csv" => {
+                let dir = std::path::PathBuf::from(need(&mut i, "--csv"));
+                if let Err(e) = std::fs::create_dir_all(&dir) {
+                    eprintln!("--csv: cannot create {}: {e}", dir.display());
+                    std::process::exit(2);
+                }
+                csv_dir = Some(dir);
+            }
+            "--chaos" => {
+                chaos = match need(&mut i, "--chaos").as_str() {
+                    "off" => Chaos::Off,
+                    "light" => Chaos::Light,
+                    "heavy" => Chaos::Heavy,
+                    other => {
+                        eprintln!("--chaos: unknown level {other:?}; use off|light|heavy");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--hang-timeout" => {
+                hang_timeout = need(&mut i, "--hang-timeout").parse().unwrap_or_else(|_| {
+                    eprintln!("--hang-timeout needs seconds");
+                    std::process::exit(2);
+                });
+            }
+            "--timing-json" => {
+                timing_json = Some(std::path::PathBuf::from(need(&mut i, "--timing-json")));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "repro orchestrate N [--dir DIR] [--scale test|full|large] [--seed N]\n\
+                     \u{20}                   [--jobs N] [--faults off|light|heavy] [--csv DIR]\n\
+                     \u{20}                   [--chaos off|light|heavy] [--hang-timeout SECS]\n\
+                     \u{20}                   [--timing-json PATH]\n\
+                     spawn N shard processes (repro all --shard I/N), monitor heartbeats,\n\
+                     restart crashed/hung shards from their checkpoints (torn manifests\n\
+                     are salvaged), then merge — stdout is byte-identical to `repro all`.\n\
+                     --dir DIR    shard checkpoints live here (default: a seed/scale-keyed\n\
+                     \u{20}            temp directory; reruns resume from it)\n\
+                     --chaos L    deterministic fault plan: light = one shard crashes;\n\
+                     \u{20}            heavy = one stalls, the rest crash, one manifest torn\n\
+                     exit codes: 0 ok, 1 shard failed permanently (partial checkpoints\n\
+                     kept), 2 usage error, 130 interrupted (children killed, resumable)"
+                );
+                std::process::exit(0);
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("repro orchestrate: unknown flag {flag}");
+                std::process::exit(2);
+            }
+            count => {
+                n = Some(count.parse().unwrap_or_else(|_| {
+                    eprintln!("repro orchestrate: bad shard count {count:?}");
+                    std::process::exit(2);
+                }));
+            }
+        }
+        i += 1;
+    }
+    let n = n.unwrap_or_else(|| {
+        eprintln!("repro orchestrate: shard count required (e.g. `repro orchestrate 3`)");
+        std::process::exit(2);
+    });
+    if n == 0 || n > EXPERIMENT_NAMES.len() {
+        eprintln!(
+            "repro orchestrate: shard count must be 1..={} (one experiment per shard at most)",
+            EXPERIMENT_NAMES.len()
+        );
+        std::process::exit(2);
+    }
+    let base = base.unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("bb_orchestrate_{seed}_{scale}"))
+    });
+
+    // --- Chaos plan: which shard gets which first-launch fault. ---
+    // Victims and crash points are derived from the campaign seed alone, so
+    // one seed replays one fault schedule. Slice bounds mirror the --shard
+    // arithmetic over EXPERIMENT_NAMES (debug-asserted in `main` to match
+    // the real experiment list).
+    let slice = |i: usize| -> &'static [&'static str] {
+        let total = EXPERIMENT_NAMES.len();
+        &EXPERIMENT_NAMES[i * total / n..(i + 1) * total / n]
+    };
+    // Crash after 1..=slice_len finalized units: always after *some*
+    // progress was flushed (so recovery resumes, never thrashes), possibly
+    // after all of it (restart finds the shard complete — also legal).
+    let crash_point =
+        |i: usize| 1 + (derive_seed(seed, 0xC4A6 ^ i as u64) as usize) % slice(i).len().max(1);
+    let plan: Vec<Fault> = match chaos {
+        Chaos::Off => vec![Fault::None; n],
+        Chaos::Light => {
+            let victim = (derive_seed(seed, 0xC4A5) % n as u64) as usize;
+            (0..n)
+                .map(|i| {
+                    if i == victim {
+                        Fault::Crash { after_units: crash_point(i) }
+                    } else {
+                        Fault::None
+                    }
+                })
+                .collect()
+        }
+        Chaos::Heavy => {
+            let stalled = (derive_seed(seed, 0x57A11) % n as u64) as usize;
+            (0..n)
+                .map(|i| {
+                    if i == stalled {
+                        // Sleep far longer than any sane hang timeout right
+                        // before the slice's last experiment: the watcher
+                        // must kill it, nothing else will.
+                        Fault::Stall { exp: slice(i).last().unwrap_or(&"calib") }
+                    } else {
+                        Fault::Crash { after_units: crash_point(i) }
+                    }
+                })
+                .collect()
+        }
+    };
+    // Heavy chaos also tears the first crashing shard's manifest before its
+    // restart, forcing the salvage path end to end.
+    let tear_victim: Option<usize> = match chaos {
+        Chaos::Heavy => plan.iter().position(|f| matches!(f, Fault::Crash { .. })),
+        _ => None,
+    };
+
+    let shard_dir = |i: usize| base.join(format!("shard{i}"));
+    let specs: Vec<ShardSpec> = (0..n)
+        .map(|i| ShardSpec {
+            label: format!("shard {i}/{n}"),
+            heartbeat: shard_dir(i).join(HEARTBEAT_NAME),
+        })
+        .collect();
+    let exe = std::env::current_exe().unwrap_or_else(|e| {
+        eprintln!("repro orchestrate: cannot resolve own binary: {e}");
+        std::process::exit(1);
+    });
+
+    eprintln!(
+        "[repro] orchestrate: {n} shard(s), scale {scale}, seed {seed}, faults {faults}, \
+         chaos {}, dir {}",
+        match chaos {
+            Chaos::Off => "off",
+            Chaos::Light => "light",
+            Chaos::Heavy => "heavy",
+        },
+        base.display()
+    );
+
+    let mut salvages = 0u64;
+    let mut torn = false;
+    let mut spawn = |i: usize, attempt: u32| -> std::io::Result<std::process::Child> {
+        let dir = shard_dir(i);
+        std::fs::create_dir_all(&dir)?;
+        let manifest = dir.join(MANIFEST_NAME);
+        if attempt > 0 {
+            if tear_victim == Some(i) && !torn {
+                // Chaos tear: chop 16 bytes off the manifest tail, exactly
+                // the damage an interrupted write leaves. The child's
+                // salvaging --resume must absorb it.
+                torn = true;
+                if let Ok(bytes) = std::fs::read(&manifest) {
+                    if bytes.len() > 16 {
+                        let _ = std::fs::write(&manifest, &bytes[..bytes.len() - 16]);
+                        eprintln!(
+                            "[repro] chaos: tore 16 bytes off {} before restart",
+                            manifest.display()
+                        );
+                    }
+                }
+            }
+            // Count salvage events for the orchestration report: the child
+            // re-saves the manifest whole, so peek before it launches.
+            if let Ok((_, Some(s))) = Checkpoint::load_salvaging(&dir) {
+                salvages += 1;
+                eprintln!("[repro] shard {i}/{n}: manifest torn, will salvage ({s})");
+            }
+        }
+        let mut cmd = Command::new(&exe);
+        cmd.arg("all")
+            .arg("--scale")
+            .arg(&scale)
+            .arg("--seed")
+            .arg(seed.to_string())
+            .arg("--faults")
+            .arg(&faults)
+            .arg("--shard")
+            .arg(format!("{i}/{n}"));
+        // Resume whenever a manifest exists (even a torn one — the child
+        // salvages it); otherwise start a fresh checkpoint.
+        if manifest.exists() {
+            cmd.arg("--resume").arg(&dir);
+        } else {
+            cmd.arg("--checkpoint").arg(&dir);
+        }
+        if let Some(j) = jobs {
+            cmd.arg("--jobs").arg(j.to_string());
+        }
+        // Shards must capture CSV exports in their manifests (the campaign
+        // key records whether CSV was on) so the merge can re-emit them.
+        if csv_dir.is_some() {
+            let shard_csv = dir.join("csv");
+            std::fs::create_dir_all(&shard_csv)?;
+            cmd.arg("--csv").arg(&shard_csv);
+        }
+        // Never let the orchestrator's own env hooks leak into children;
+        // chaos faults apply to each shard's first launch only.
+        for var in [
+            "BB_REPRO_POISON",
+            "BB_REPRO_UNIT_LIMIT",
+            "BB_REPRO_CRASH",
+            "BB_REPRO_STALL",
+            "BB_AUDIT_VIOLATE",
+        ] {
+            cmd.env_remove(var);
+        }
+        if attempt == 0 {
+            match plan[i] {
+                Fault::None => {}
+                Fault::Crash { after_units } => {
+                    cmd.env("BB_REPRO_CRASH", after_units.to_string());
+                }
+                Fault::Stall { exp } => {
+                    cmd.env("BB_REPRO_STALL", format!("{exp}:600"));
+                }
+            }
+        }
+        let log = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(dir.join("stderr.log"))?;
+        cmd.stdin(Stdio::null()).stdout(Stdio::null()).stderr(log);
+        cmd.spawn()
+    };
+
+    let policy = OrchestratorPolicy {
+        max_restarts: 3,
+        restart_budget: (2 * n as u32).max(4),
+        backoff_base: std::time::Duration::from_millis(25),
+        jitter_seed: seed,
+        hang_timeout: std::time::Duration::from_secs_f64(hang_timeout),
+        poll_interval: std::time::Duration::from_millis(25),
+    };
+    install_signal_drain();
+    let t0 = std::time::Instant::now();
+    let report = orchestrate(
+        &specs,
+        &policy,
+        &|| INTERRUPTED.load(Ordering::Relaxed),
+        &mut spawn,
+    );
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    // The structured report is written even for failed or interrupted
+    // campaigns — partial results are exactly when the restart/salvage
+    // tallies matter most.
+    let stats = beating_bgp::bench::OrchestrationStats {
+        shards: report.shards.len() as u64,
+        attempts: report.attempts,
+        restarts: report.restarts,
+        crashes_detected: report.crashes_detected,
+        hangs_detected: report.hangs_detected,
+        salvages,
+        budget_exhausted: report.budget_exhausted,
+        per_shard: report
+            .shards
+            .iter()
+            .map(|s| beating_bgp::bench::ShardWall {
+                label: s.label.clone(),
+                attempts: s.attempts as u64,
+                wall_s: s.elapsed_s,
+                outcome: s.outcome.label().to_string(),
+            })
+            .collect(),
+    };
+    if let Some(path) = &timing_json {
+        use beating_bgp::bench as bench;
+        let perf = bench::PerfReport {
+            experiment: "orchestrate".to_string(),
+            scale: scale.clone(),
+            seed,
+            jobs: jobs.unwrap_or(0),
+            wall_s,
+            phases: Vec::new(),
+            counters: Vec::new(),
+            total_samples: 0,
+            samples_per_sec: 0.0,
+            plan_compile_s: 0.0,
+            plan_query_s: 0.0,
+            route_cache: bench::RouteCacheStats { hits: 0, misses: 0, resident: 0 },
+            route_cache_by_experiment: Vec::new(),
+            faults: bench::FaultStats {
+                samples_lost: 0,
+                timeouts: 0,
+                retries: 0,
+                windows_dropped: 0,
+                panics_isolated: 0,
+            },
+            supervision: bench::SupervisionStats {
+                attempts: 0,
+                retries: 0,
+                panics_absorbed: 0,
+                recovered: 0,
+                failed: 0,
+                skipped: 0,
+                budget_exhausted: false,
+            },
+            orchestration: Some(stats),
+            congestion_races_closed: 0,
+        }
+        .finalize();
+        if let Err(e) = std::fs::write(path, perf.to_json()) {
+            eprintln!("--timing-json: cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+    eprintln!(
+        "[repro] orchestrate: {} launch(es), {} restart(s), {} crash(es), {} hang(s), \
+         {} salvage(s){}",
+        report.attempts,
+        report.restarts,
+        report.crashes_detected,
+        report.hangs_detected,
+        salvages,
+        if report.budget_exhausted { " — restart budget exhausted" } else { "" }
+    );
+
+    if report.cancelled {
+        eprintln!("=== INTERRUPTED (resumable) ===");
+        eprintln!(
+            "  children killed; shard checkpoints kept in {} — rerun the same \
+             command to resume",
+            base.display()
+        );
+        eprintln!("=== END INTERRUPTED ===");
+        std::process::exit(130);
+    }
+    if !report.all_completed() {
+        for s in &report.shards {
+            if s.outcome != beating_bgp::exec::orchestrator::ShardOutcome::Completed {
+                eprintln!(
+                    "  {}: {} after {} launch(es){} — log: {}",
+                    s.label,
+                    s.outcome.label(),
+                    s.attempts,
+                    s.error.as_deref().map(|e| format!(" ({e})")).unwrap_or_default(),
+                    shard_dir(s.index).join("stderr.log").display()
+                );
+            }
+        }
+        eprintln!(
+            "repro orchestrate: {}/{} shard(s) did not complete; finished shards' \
+             checkpoints are kept in {} — rerun the same command to resume",
+            report.shards.len() - report.count("completed"),
+            report.shards.len(),
+            base.display()
+        );
+        std::process::exit(1);
+    }
+
+    // Every shard completed: strict-load the manifests (salvage was a
+    // restart-time concern; a completed shard's manifest must be whole)
+    // and emit the campaign output.
+    let dirs: Vec<std::path::PathBuf> = (0..n).map(shard_dir).collect();
+    let shards: Vec<Checkpoint> = dirs
+        .iter()
+        .map(|d| {
+            Checkpoint::load(d).unwrap_or_else(|e| {
+                eprintln!("repro orchestrate: {}: {e}", d.display());
+                std::process::exit(2);
+            })
+        })
+        .collect();
+    finish_merge("repro orchestrate", &dirs, shards, csv_dir.as_deref())
+}
+
 fn main() {
     if std::env::args().nth(1).as_deref() == Some("merge") {
         run_merge();
+    }
+    if std::env::args().nth(1).as_deref() == Some("orchestrate") {
+        run_orchestrate();
     }
     let args = parse_args();
     let t0 = std::time::Instant::now();
@@ -960,6 +1551,12 @@ fn main() {
         std::process::exit(2);
     }
     let names: Vec<&'static str> = selected.iter().map(|(n, _)| *n).collect();
+    // The orchestrator plans shard slices and chaos against
+    // `EXPERIMENT_NAMES` without building the closures; the two lists must
+    // stay identical, in the same order.
+    if args.experiment == "all" {
+        debug_assert_eq!(names, EXPERIMENT_NAMES, "EXPERIMENT_NAMES is out of date");
+    }
 
     // --- Sharding: run one contiguous slice of the campaign. ---
     // The slice bounds are `[I·n/N, (I+1)·n/N)`, so the N slices tile the
@@ -1001,11 +1598,23 @@ fn main() {
         Some(dir) => {
             install_signal_drain();
             let ck = if args.resume.is_some() {
-                match Checkpoint::load(dir).and_then(|ck| {
+                match Checkpoint::load_salvaging(dir).and_then(|(ck, salvage)| {
                     ck.validate(&campaign_key)?;
-                    Ok(ck)
+                    Ok((ck, salvage))
                 }) {
-                    Ok(ck) => {
+                    Ok((ck, salvage)) => {
+                        if let Some(s) = &salvage {
+                            // A manifest torn by a crash mid-write is
+                            // salvaged to its valid prefix; re-save it whole
+                            // immediately, so a second crash before the
+                            // first flush cannot tear the torn file further.
+                            eprintln!("[repro] warning: checkpoint salvaged: {s}");
+                            if let Err(e) = ck.save(dir) {
+                                eprintln!(
+                                    "[repro] warning: could not re-save salvaged checkpoint: {e}"
+                                );
+                            }
+                        }
                         for name in &names {
                             if let Some(unit) = ck.get(name) {
                                 replay.insert(name, unit.clone());
@@ -1041,18 +1650,51 @@ fn main() {
             }
         });
     };
-    // Window-granular flushes inside a study: every N completed measurement
-    // windows the manifest is re-written with up-to-date progress, so even
-    // a kill in the middle of one long experiment leaves a fresh manifest.
+    // Liveness heartbeat: a tiny progress record (`heartbeat.bbhb`)
+    // rewritten atomically but *without* fsync — the orchestrator watches
+    // its content for change to tell a slow shard from a hung one, and a
+    // lost heartbeat costs nothing (the manifest carries the durable
+    // state). `units_done` counts finalized experiments, bumped in
+    // `on_final` below.
+    let units_done = Arc::new(AtomicUsize::new(0));
+    let beat = {
+        let units = Arc::clone(&units_done);
+        move |shared: &(std::path::PathBuf, Mutex<Checkpoint>)| {
+            let hb = Heartbeat::now(
+                beating_bgp::measure::progress::windows_done(),
+                units.load(Ordering::Relaxed) as u64,
+            );
+            timing::time("checkpoint:heartbeat", || {
+                // Best-effort by design: a failed heartbeat write must never
+                // fail the run, and a stale heartbeat at worst triggers one
+                // spurious restart (which resumes from the checkpoint).
+                let _ = hb.save(&shared.0);
+            });
+        }
+    };
+    // Window-granular progress inside a study: every 2048 completed
+    // measurement windows the heartbeat is refreshed (cheap: ~60 bytes, no
+    // fsync), and every 32768 the full manifest is re-flushed, so even a
+    // kill in the middle of one long experiment leaves a fresh manifest.
     // Without --checkpoint no hook is installed and the pipelines pay one
-    // relaxed counter increment per window — nothing else. The interval is
-    // sized so periodic flushes stay well under the 2% wall-clock budget
-    // the bench smoke enforces (each flush rewrites the whole manifest).
+    // relaxed counter increment per window — nothing else. The flush
+    // interval is sized so periodic flushes stay well under the 2%
+    // wall-clock budget the bench smoke enforces (each flush rewrites and
+    // fsyncs the whole manifest).
     if let Some(shared) = &ck_shared {
+        // Startup heartbeat: the orchestrator sees liveness before the
+        // first window completes (world-building can take a while).
+        beat(shared);
         let s = Arc::clone(shared);
+        let b = beat.clone();
         beating_bgp::measure::progress::set_hook(
-            32_768,
-            Arc::new(move |_| flush(&s, false)),
+            2_048,
+            Arc::new(move |n| {
+                b(&s);
+                if n % 32_768 == 0 {
+                    flush(&s, false);
+                }
+            }),
         );
     }
 
@@ -1074,6 +1716,12 @@ fn main() {
     // supervised-retry recovery path can be driven deterministically.
     // BB_REPRO_UNIT_LIMIT=<n> cancels the campaign after n finalized
     // experiments — a deterministic stand-in for SIGTERM in tests.
+    // BB_REPRO_CRASH=<n> hard-exits the process (code 101, like an escaped
+    // panic) right after the n-th experiment is finalized and flushed — a
+    // deterministic worker crash for the orchestrator's chaos plans.
+    // BB_REPRO_STALL=<name>[:secs] sleeps that long (default 30s) before
+    // running <name>, first attempt only — a deterministic hang, stale
+    // heartbeat included, that a restarted attempt does not repeat.
     let poison = std::env::var("BB_REPRO_POISON").ok();
     let (poison_name, poison_attempts): (Option<String>, u32) = match poison {
         None => (None, 0),
@@ -1091,6 +1739,24 @@ fn main() {
     let unit_limit: Option<usize> = std::env::var("BB_REPRO_UNIT_LIMIT")
         .ok()
         .and_then(|s| s.parse().ok());
+    let crash_after: Option<usize> = std::env::var("BB_REPRO_CRASH").ok().map(|s| {
+        s.parse().unwrap_or_else(|_| {
+            eprintln!("BB_REPRO_CRASH: bad unit count {s:?}");
+            std::process::exit(2);
+        })
+    });
+    let stall: Option<(String, f64)> = std::env::var("BB_REPRO_STALL").ok().map(|spec| {
+        match spec.split_once(':') {
+            Some((name, secs)) => (
+                name.to_string(),
+                secs.parse().unwrap_or_else(|_| {
+                    eprintln!("BB_REPRO_STALL: bad seconds in {spec:?}");
+                    std::process::exit(2);
+                }),
+            ),
+            None => (spec, 30.0),
+        }
+    });
     let finalized = AtomicUsize::new(0);
     let cancel = || {
         INTERRUPTED.load(Ordering::Relaxed)
@@ -1102,7 +1768,19 @@ fn main() {
                 let mut ck = shared.1.lock().unwrap_or_else(|e| e.into_inner());
                 ck.record(run_list[i].0, unit.clone());
             }
+            units_done.fetch_add(1, Ordering::Relaxed);
             flush(shared, true);
+            beat(shared);
+            // The injected crash fires only after the unit was flushed, so
+            // every crash leaves resumable progress behind — the property
+            // the orchestrator's restart path depends on.
+            if crash_after.is_some_and(|n| units_done.load(Ordering::Relaxed) >= n) {
+                eprintln!(
+                    "[repro] BB_REPRO_CRASH: simulated crash after {} finalized unit(s)",
+                    units_done.load(Ordering::Relaxed)
+                );
+                std::process::exit(101);
+            }
         }
         finalized.fetch_add(1, Ordering::Relaxed);
     };
@@ -1129,6 +1807,12 @@ fn main() {
         supervisor::supervise(&run_list, &policy, None, &cancel, &on_final, |_, attempt, (name, run)| {
             if poison_name.as_deref() == Some(*name) && attempt < poison_attempts {
                 panic!("poisoned by BB_REPRO_POISON (attempt {attempt})");
+            }
+            if let Some((stall_name, secs)) = &stall {
+                if stall_name == name && attempt == 0 {
+                    eprintln!("[repro] BB_REPRO_STALL: stalling {name} for {secs}s (attempt 0)");
+                    std::thread::sleep(std::time::Duration::from_secs_f64(*secs));
+                }
             }
             let (h0, m0, _) = beating_bgp::exec::cache_stats();
             let out = timing::time(&format!("exp:{name}"), run);

@@ -54,6 +54,15 @@ fn timing_json_emits_schema_v1() {
         "fault-free run should report zero fault activity:\n{j}"
     );
 
+    // The orchestration section is emitted only by `repro orchestrate`
+    // (zero-cost-when-unused, like the checkpoint phases above), and a
+    // plain run writes no heartbeat records either.
+    assert!(
+        !j.contains("\"orchestration\""),
+        "plain run must not carry an orchestration section:\n{j}"
+    );
+    assert!(!j.contains("checkpoint:heartbeat"), "{j}");
+
     // Balanced brackets and no trailing commas: cheap structural validity
     // checks for the hand-rolled writer.
     assert_eq!(j.matches('{').count(), j.matches('}').count());
