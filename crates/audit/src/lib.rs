@@ -43,6 +43,7 @@ pub const RULE_NAMES: &[&str] = &[
     "weights.conserved",
     "coverage.accounting",
     "churn.intervals",
+    "sketch.quantile_error",
     "meta.faults_off",
     "meta.jobs_independent",
     "meta.ablation_direction",
@@ -215,6 +216,7 @@ pub fn run_audit(
             poison("coverage.accounting"),
         ),
         churn_rule(facebook, egress, opts.seed, poison("churn.intervals")),
+        sketch_error_rule(egress, poison("sketch.quantile_error")),
         faults_off_relation(opts.seed, poison("meta.faults_off")),
         jobs_relation(opts.seed, poison("meta.jobs_independent")),
         ablation_relation(opts.seed, poison("meta.ablation_direction")),
@@ -689,6 +691,87 @@ fn churn_rule(facebook: &Scenario, egress: &EgressStudy, seed: u64, poison: bool
     rule.finish()
 }
 
+/// `sketch.quantile_error`: the streaming sketch's declared relative-error
+/// guarantee, checked against *this build's* actual campaign data. The
+/// rule streams the egress study's per-window preferred − best-alternate
+/// diffs (the exact value stream `repro serve --epsilon` aggregates) into
+/// a [`bb_stats::QuantileSketch`] in dataset order, and at every epoch
+/// boundary compares sketch quantiles at q ∈ {0.25, 0.5, 0.75, 0.9}
+/// against the true retained-sample quantiles (`weighted_quantile`'s
+/// convention, which the sketch's contract names): a serve figure is only
+/// trustworthy if `|est − truth| ≤ ε·|truth| + 1e-9` holds at every
+/// boundary, not just at the end.
+fn sketch_error_rule(egress: &EgressStudy, poison: bool) -> RuleReport {
+    let mut rule = Rule::new("sketch.quantile_error");
+    const EPS: f64 = 0.02;
+    /// Kept values per simulated snapshot epoch.
+    const EPOCH: usize = 512;
+    let mut sk = bb_stats::QuantileSketch::new(EPS);
+    let mut retained: Vec<(f64, f64)> = Vec::new();
+    let check_boundary = |rule: &mut Rule,
+                          sk: &bb_stats::QuantileSketch,
+                          retained: &[(f64, f64)],
+                          label: &str| {
+        for q in [0.25, 0.5, 0.75, 0.9] {
+            let truth = bb_stats::weighted_quantile(retained, q)
+                .expect("boundary checks only run with retained data");
+            let est = sk.quantile(q).expect("sketch saw the same stream");
+            rule.check(
+                (est - truth).abs() <= sk.eps() * truth.abs() + 1e-9,
+                || {
+                    format!(
+                        "{label} q={q}: sketch {est:.6} vs truth {truth:.6} \
+                         exceeds eps {} bound",
+                        sk.eps()
+                    )
+                },
+            );
+        }
+    };
+    for row in &egress.dataset.rows {
+        if row.route_median_ms.len() < 2 {
+            continue;
+        }
+        let preferred = row.route_median_ms[0];
+        let best_alt = bb_stats::min_finite(row.route_median_ms[1..].iter().copied());
+        if !preferred.is_finite() || !best_alt.is_finite() {
+            continue;
+        }
+        let diff = preferred - best_alt;
+        sk.add(diff, 1.0);
+        retained.push((diff, 1.0));
+        if retained.len() % EPOCH == 0 {
+            check_boundary(
+                &mut rule,
+                &sk,
+                &retained,
+                &format!("epoch boundary at {} values", retained.len()),
+            );
+        }
+    }
+    if poison {
+        // A corrupt item in the sketch's input stream only: a heavy outlier
+        // the retained truth never saw, dragging the upper quantiles far
+        // past the ε bound.
+        sk.add(1e6, retained.len() as f64 + 1.0);
+    }
+    if retained.is_empty() {
+        // Nothing survived (conceivable under extreme fault storms): the
+        // sketch must agree it saw nothing.
+        rule.check(sk.count() == 0, || {
+            format!("no windows retained but sketch folded {} values", sk.count())
+        });
+    } else {
+        check_boundary(
+            &mut rule,
+            &sk,
+            &retained,
+            &format!("final boundary at {} values", retained.len()),
+        );
+    }
+    rule.finish()
+}
+
 // --- Metamorphic relations on Scale::Test slices. ---
 
 /// `meta.faults_off`: `--faults off` must be *the same program* as a build
@@ -941,7 +1024,7 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), RULE_NAMES.len());
-        assert_eq!(RULE_NAMES.len(), 12);
+        assert_eq!(RULE_NAMES.len(), 13);
     }
 
     #[test]
@@ -1034,7 +1117,7 @@ mod tests {
         // Poison each invariant rule directly against the shared studies
         // (the metamorphic rules re-run whole Test slices, so their poison
         // path is covered by `metamorphic_poison_fires` above; the binary-
-        // level BB_AUDIT_VIOLATE loop in CI covers all twelve end to end).
+        // level BB_AUDIT_VIOLATE loop in CI covers all thirteen end to end).
         let poisoned = [
             valley_free_rule(&fb, &egress, true),
             lightspeed_rule(&fb, &egress, &ms, &anycast, &gg, &tiers, true),
@@ -1048,5 +1131,9 @@ mod tests {
             assert!(!r.passed(), "poisoned rule {} did not fire", r.name);
             assert_eq!(r.violations, 1, "{} fired {} times", r.name, r.violations);
         }
+        // The sketch poison corrupts one stream item but every quantile it
+        // drags past the bound counts, so it can fire more than once.
+        let r = sketch_error_rule(&egress, true);
+        assert!(!r.passed(), "poisoned sketch.quantile_error did not fire");
     }
 }

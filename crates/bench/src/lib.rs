@@ -148,6 +148,35 @@ pub struct OrchestrationStats {
     pub per_shard: Vec<ShardWall>,
 }
 
+/// Streaming-daemon telemetry for `repro serve`: progress, sketch memory,
+/// and degraded-mode activity. Emitted only by serve runs — the key is
+/// absent from ordinary reports, keeping `bb-perf-report/v1` additive.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ServeStats {
+    /// Aggregation mode: `exact` or `sketch`.
+    pub mode: String,
+    /// Declared sketch ε (`0` in exact mode).
+    pub epsilon: f64,
+    /// ε in force at the end of the run (grows with coarsening).
+    pub epsilon_in_force: f64,
+    /// Measurement windows fully ingested.
+    pub windows_done: u64,
+    /// Snapshot epochs flushed.
+    pub epochs_flushed: u64,
+    /// Resident state bytes at the end of the run (counter-based
+    /// accounting, see `ServeState::resident_bytes`).
+    pub resident_bytes: u64,
+    /// High-water resident state bytes across all epoch boundaries.
+    pub peak_resident_bytes: u64,
+    /// Governor coarsening rounds applied across the run's lifetime
+    /// (resumed runs carry the count forward from the snapshot).
+    pub governor_coarsenings: u64,
+    /// Epoch deadline misses observed by the watchdog (telemetry only).
+    pub deadline_misses: u64,
+    /// True when this run resumed from an existing snapshot.
+    pub resumed: bool,
+}
+
 /// Schema tag embedded in every report so downstream tooling can detect
 /// layout changes.
 pub const PERF_SCHEMA: &str = "bb-perf-report/v1";
@@ -187,6 +216,9 @@ pub struct PerfReport {
     /// for ordinary runs; the JSON key is emitted only when present, so
     /// existing report consumers and diffs are untouched.
     pub orchestration: Option<OrchestrationStats>,
+    /// Streaming-daemon telemetry (`repro serve`). Same additive contract
+    /// as `orchestration`: the key exists only when the run was a serve.
+    pub serve: Option<ServeStats>,
     /// Congestion-process double-materializations avoided by the
     /// write-lock double-check (nonzero only under `--jobs > 1`).
     pub congestion_races_closed: u64,
@@ -339,6 +371,25 @@ impl PerfReport {
             out.push_str("]},\n");
         }
 
+        if let Some(s) = &self.serve {
+            out.push_str(&format!(
+                "  \"serve\": {{\"mode\": {}, \"epsilon\": {}, \"epsilon_in_force\": {}, \
+                 \"windows_done\": {}, \"epochs_flushed\": {}, \"resident_bytes\": {}, \
+                 \"peak_resident_bytes\": {}, \"governor_coarsenings\": {}, \
+                 \"deadline_misses\": {}, \"resumed\": {}}},\n",
+                json_str(&s.mode),
+                json_f64(s.epsilon),
+                json_f64(s.epsilon_in_force),
+                s.windows_done,
+                s.epochs_flushed,
+                s.resident_bytes,
+                s.peak_resident_bytes,
+                s.governor_coarsenings,
+                s.deadline_misses,
+                s.resumed
+            ));
+        }
+
         json_kv_raw(
             &mut out,
             "congestion_races_closed",
@@ -469,6 +520,7 @@ mod tests {
                 budget_exhausted: false,
             },
             orchestration: None,
+            serve: None,
             congestion_races_closed: 0,
         }
         .finalize()
@@ -568,6 +620,43 @@ mod tests {
         }
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert_eq!(j.matches('[').count(), j.matches(']').count());
+        assert!(!j.contains(",\n}"), "trailing comma before object close");
+    }
+
+    #[test]
+    fn serve_section_is_emitted_only_when_present() {
+        let j = sample_report().to_json();
+        assert!(!j.contains("\"serve\""), "{j}");
+
+        let mut r = sample_report();
+        r.serve = Some(ServeStats {
+            mode: "sketch".into(),
+            epsilon: 0.02,
+            epsilon_in_force: 0.04,
+            windows_done: 200,
+            epochs_flushed: 8,
+            resident_bytes: 65536,
+            peak_resident_bytes: 131072,
+            governor_coarsenings: 1,
+            deadline_misses: 0,
+            resumed: true,
+        });
+        let j = r.to_json();
+        for key in [
+            "\"serve\": {\"mode\": \"sketch\"",
+            "\"epsilon\": 0.02",
+            "\"epsilon_in_force\": 0.04",
+            "\"windows_done\": 200",
+            "\"epochs_flushed\": 8",
+            "\"resident_bytes\": 65536",
+            "\"peak_resident_bytes\": 131072",
+            "\"governor_coarsenings\": 1",
+            "\"deadline_misses\": 0",
+            "\"resumed\": true",
+        ] {
+            assert!(j.contains(key), "missing {key} in:\n{j}");
+        }
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert!(!j.contains(",\n}"), "trailing comma before object close");
     }
 

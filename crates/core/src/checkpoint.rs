@@ -369,6 +369,15 @@ impl std::fmt::Display for Salvage {
 /// Parse the `bbck/v1` header lines. A torn header is never salvageable —
 /// without the full [`CampaignKey`] the prefix cannot be validated.
 fn parse_header(p: &mut Parser<'_>) -> BbResult<(CampaignKey, u64)> {
+    // A zero-length manifest is its own diagnosis (an atomic writer can
+    // never produce one — it means the file was created by something else
+    // or zeroed by filesystem damage), not a generic truncation.
+    if p.bytes.is_empty() {
+        return Err(BbError::checkpoint(
+            "manifest is empty (0 bytes at byte offset 0) — not a torn \
+             write; refusing to salvage",
+        ));
+    }
     let version = p.line()?;
     if version != FORMAT {
         return Err(BbError::checkpoint(format!(
@@ -433,6 +442,7 @@ fn parse_unit(p: &mut Parser<'_>) -> BbResult<UnitParse> {
     let n_files: usize = parse_tok(tok.next(), "unit file count")?;
     let stdout_len: usize = parse_tok(tok.next(), "unit stdout length")?;
     let sum: u64 = parse_hex(tok.next(), "unit stdout checksum")?;
+    let blob_at = p.pos;
     let stdout_bytes = match p.blob_opt(stdout_len, &name)? {
         Some(blob) => blob,
         None => {
@@ -443,7 +453,9 @@ fn parse_unit(p: &mut Parser<'_>) -> BbResult<UnitParse> {
     };
     if fnv1a(stdout_bytes) != sum {
         return Err(BbError::checkpoint(format!(
-            "checksum mismatch in stdout of unit {name}"
+            "checksum mismatch in stdout of unit {name} \
+             (blob at byte offset {blob_at}, mid-file corruption — not a \
+             torn tail, refusing to salvage)"
         )));
     }
     let stdout = String::from_utf8(stdout_bytes.to_vec())
@@ -470,6 +482,7 @@ fn parse_unit(p: &mut Parser<'_>) -> BbResult<UnitParse> {
             .to_string();
         let len: usize = parse_tok(ftok.next(), "file length")?;
         let fsum: u64 = parse_hex(ftok.next(), "file checksum")?;
+        let fblob_at = p.pos;
         let blob = match p.blob_opt(len, &fname)? {
             Some(blob) => blob,
             None => {
@@ -480,7 +493,9 @@ fn parse_unit(p: &mut Parser<'_>) -> BbResult<UnitParse> {
         };
         if fnv1a(blob) != fsum {
             return Err(BbError::checkpoint(format!(
-                "checksum mismatch in file {fname} of unit {name}"
+                "checksum mismatch in file {fname} of unit {name} \
+                 (blob at byte offset {fblob_at}, mid-file corruption — \
+                 not a torn tail, refusing to salvage)"
             )));
         }
         files.push((fname, blob.to_vec()));
@@ -559,6 +574,13 @@ impl Heartbeat {
         std::fs::create_dir_all(dir)
             .map_err(|e| BbError::io(format!("create checkpoint dir {}", dir.display()), e))?;
         let path = dir.join(HEARTBEAT_NAME);
+        // Heartbeats skip the fsync ladder but are still atomic writers:
+        // they share the disk-full injection point with
+        // `write_atomic_bytes`, so `BB_REPRO_ENOSPC` can prove this path
+        // fails closed too (prior heartbeat intact, no torn rename).
+        if let Some(e) = crate::export::injected_enospc(&path) {
+            return Err(e);
+        }
         let tmp = dir.join(format!("{HEARTBEAT_NAME}.tmp"));
         std::fs::write(&tmp, self.encode())
             .map_err(|e| BbError::io(format!("write {}", tmp.display()), e))?;
@@ -666,22 +688,26 @@ impl std::fmt::Write for StrSink<'_> {
     }
 }
 
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
+pub(crate) struct Parser<'a> {
+    pub(crate) bytes: &'a [u8],
+    pub(crate) pos: usize,
 }
 
 impl<'a> Parser<'a> {
     /// Next `\n`-terminated header line as UTF-8 (without the newline).
-    fn line(&mut self) -> BbResult<String> {
-        self.line_opt()?
-            .ok_or_else(|| BbError::checkpoint("truncated manifest (missing newline)"))
+    pub(crate) fn line(&mut self) -> BbResult<String> {
+        let at = self.pos;
+        self.line_opt()?.ok_or_else(|| {
+            BbError::checkpoint(format!(
+                "truncated manifest (missing newline at byte offset {at})"
+            ))
+        })
     }
 
     /// Like [`Parser::line`], but truncation (no newline before EOF) is
     /// `Ok(None)` so callers can tell a torn tail from corrupt data. A
     /// complete line that is not UTF-8 is still an error.
-    fn line_opt(&mut self) -> BbResult<Option<String>> {
+    pub(crate) fn line_opt(&mut self) -> BbResult<Option<String>> {
         let rest = &self.bytes[self.pos..];
         let Some(nl) = rest.iter().position(|&b| b == b'\n') else {
             return Ok(None);
@@ -694,14 +720,14 @@ impl<'a> Parser<'a> {
     }
 
     /// Header line `"{name} {value}"`, value parsed.
-    fn field<T: std::str::FromStr>(&mut self, name: &str) -> BbResult<T> {
+    pub(crate) fn field<T: std::str::FromStr>(&mut self, name: &str) -> BbResult<T> {
         self.field_str(name)?
             .parse()
             .map_err(|_| BbError::checkpoint(format!("bad {name} value")))
     }
 
     /// Header line `"{name} {value}"`, value as string.
-    fn field_str(&mut self, name: &str) -> BbResult<String> {
+    pub(crate) fn field_str(&mut self, name: &str) -> BbResult<String> {
         let line = self.line()?;
         let (key, value) = line
             .split_once(' ')
@@ -718,7 +744,7 @@ impl<'a> Parser<'a> {
     /// EOF (truncation) is `Ok(None)` so callers can tell a torn tail from
     /// corrupt data; a wrong terminator byte with the data fully present
     /// means a bad length prefix — corruption, an error.
-    fn blob_opt(&mut self, len: usize, what: &str) -> BbResult<Option<&'a [u8]>> {
+    pub(crate) fn blob_opt(&mut self, len: usize, what: &str) -> BbResult<Option<&'a [u8]>> {
         if self.pos + len + 1 > self.bytes.len() {
             return Ok(None);
         }
@@ -904,6 +930,67 @@ mod tests {
         // prefix cannot be validated against the campaign.
         assert!(Checkpoint::decode_salvaging(&bytes[..3]).is_err());
         assert!(Checkpoint::decode_salvaging(b"bbck/v1\nseed 42\n").is_err());
+    }
+
+    #[test]
+    fn zero_length_manifest_is_rejected_with_diagnosis() {
+        for decode in [
+            Checkpoint::decode(b"").map(|_| ()),
+            Checkpoint::decode_salvaging(b"").map(|_| ()),
+        ] {
+            let err = decode.unwrap_err().to_string();
+            assert!(err.contains("empty"), "{err}");
+            assert!(err.contains("0 bytes"), "{err}");
+            assert!(err.contains("byte offset 0"), "{err}");
+        }
+    }
+
+    #[test]
+    fn truncated_header_names_the_byte_offset() {
+        let bytes = sample().encode();
+        // Cut mid-header (inside the `seed` line): truncation offset is
+        // where the parser stood when it ran out of newline.
+        let err = Checkpoint::decode(&bytes[..10]).unwrap_err().to_string();
+        assert!(err.contains("byte offset 8"), "{err}");
+        let err = Checkpoint::decode_salvaging(&bytes[..10])
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("byte offset 8"), "{err}");
+    }
+
+    #[test]
+    fn checksum_mismatch_names_the_byte_offset() {
+        let ck = sample();
+        let bytes = ck.encode();
+        // Corrupt the *first* byte of each blob, so the last preceding
+        // newline is the record-header line's terminator and the expected
+        // blob offset can be computed independently of the parser.
+        for (needle, expect_unit) in [
+            (b"series,x,y".as_slice(), "file fig1.csv"),
+            (b"Figure 1".as_slice(), "stdout of unit fig1"),
+        ] {
+            let mut corrupt = bytes.clone();
+            let at = corrupt
+                .windows(needle.len())
+                .position(|w| w == needle)
+                .unwrap();
+            corrupt[at] ^= 0x20;
+            // The corrupted byte sits inside the blob, so the reported
+            // blob offset must be at or before it.
+            let blob_start = corrupt[..at].iter().rposition(|&b| b == b'\n').unwrap() + 1;
+            for decode in [
+                Checkpoint::decode(&corrupt).map(|_| ()),
+                Checkpoint::decode_salvaging(&corrupt).map(|_| ()),
+            ] {
+                let err = decode.unwrap_err().to_string();
+                assert!(err.contains(expect_unit), "{err}");
+                assert!(
+                    err.contains(&format!("byte offset {blob_start}")),
+                    "expected offset {blob_start} in: {err}"
+                );
+                assert!(err.contains("mid-file corruption"), "{err}");
+            }
+        }
     }
 
     #[test]

@@ -22,6 +22,9 @@
 //! [`world`] builds the scenario (topology + provider + workload +
 //! congestion) each study runs on; [`figures`] holds the figure data types
 //! and their ASCII rendering; [`export`] writes figure data as CSV.
+//! [`serve`] and [`snapshot`] are the streaming plane: bounded-memory
+//! campaign state and the crash-safe `bbsn/v1` epoch flushes behind
+//! `repro serve`.
 
 pub mod calibration;
 pub mod checkpoint;
@@ -29,6 +32,8 @@ pub mod error;
 pub mod export;
 pub mod ext;
 pub mod figures;
+pub mod serve;
+pub mod snapshot;
 pub mod study_anycast;
 pub mod study_egress;
 pub mod study_tiers;

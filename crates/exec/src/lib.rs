@@ -452,6 +452,72 @@ pub fn timed<R>(f: impl FnOnce() -> R) -> (R, std::time::Duration) {
     (out, start.elapsed())
 }
 
+/// Advisory deadline telemetry for long-running loops (`repro serve`).
+///
+/// A streaming daemon cannot let a slow epoch change its output — killing
+/// or retrying work on a wall-clock signal would make results depend on
+/// machine speed, breaking byte-identity. So the watchdog is strictly
+/// *observational*: each missed deadline bumps a counter (visible in
+/// `--timing`/`--timing-json` and to the PR 7 supervisor's stall
+/// heuristics via the heartbeat it feeds) and warns on stderr, and the
+/// epoch's results land unchanged.
+pub mod watchdog {
+    use std::time::{Duration, Instant};
+
+    /// Per-iteration deadline observer. Counts misses; never intervenes.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Watchdog {
+        budget: Duration,
+        label: &'static str,
+    }
+
+    impl Watchdog {
+        /// A watchdog that considers any iteration longer than `budget`
+        /// a miss, reported under `{label}:deadline_missed`.
+        pub fn new(label: &'static str, budget: Duration) -> Self {
+            Watchdog { budget, label }
+        }
+
+        /// Observe one completed iteration that started at `start`.
+        /// Returns `true` (and bumps the counter) on a miss.
+        pub fn observe(&self, start: Instant) -> bool {
+            let elapsed = start.elapsed();
+            if elapsed <= self.budget {
+                return false;
+            }
+            super::timing::add_count(&format!("{}:deadline_missed", self.label), 1);
+            eprintln!(
+                "watchdog: {} iteration took {:.3}s (budget {:.3}s) — \
+                 continuing; results are unaffected",
+                self.label,
+                elapsed.as_secs_f64(),
+                self.budget.as_secs_f64()
+            );
+            true
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn misses_are_counted_and_hits_are_not() {
+            let wd = Watchdog::new("wdtest", Duration::from_secs(3600));
+            assert!(!wd.observe(Instant::now()));
+            let wd = Watchdog::new("wdtest", Duration::ZERO);
+            let t = Instant::now() - Duration::from_millis(5);
+            assert!(wd.observe(t));
+            let n = crate::timing::counters()
+                .into_iter()
+                .find(|(l, _)| l == "wdtest:deadline_missed")
+                .map(|(_, n)| n)
+                .unwrap_or(0);
+            assert!(n >= 1);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

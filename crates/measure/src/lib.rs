@@ -118,7 +118,7 @@ pub mod progress {
 
 pub use beacon::{run_beacons, BeaconConfig, BeaconMeasurement};
 pub use probe::{probe_tiers, select_vantage_points, ProbeConfig, TierProbe, VantagePoint};
-pub use spray::{spray, SprayConfig, SprayDataset, WindowRow};
+pub use spray::{spray, SprayConfig, SprayDataset, SprayEngine, SprayTarget, WindowRow};
 
 /// Per-campaign fault bookkeeping, accumulated inside `par_map` tasks and
 /// merged into the process-wide `timing` counters once per campaign.

@@ -104,7 +104,7 @@ pub struct SprayTarget {
 }
 
 /// One aggregated measurement row.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct WindowRow {
     pub window: Window,
     pub pop: CityId,
@@ -161,102 +161,172 @@ impl KernelTally {
     }
 }
 
-/// Run the spray campaign.
+/// A spray campaign compiled for repeated (streaming) window sampling.
 ///
-/// With `faults: Some(..)` the campaign runs through the measurement fault
-/// plane: sprayed sessions are lost/timed out and retried with bounded
-/// backoff, churned-away routes lose whole windows, and routes that keep
-/// fewer than `min_samples_per_window` sessions report a `NaN` median
-/// (flagged, never averaged). `faults: None` takes the exact pre-fault
-/// code path.
-pub fn spray(
-    topo: &Topology,
-    provider: &Provider,
-    workload: &Workload,
-    congestion: &CongestionModel,
-    faults: Option<&FaultPlane>,
-    cfg: &SprayConfig,
-) -> SprayDataset {
-    let targets = bb_exec::timing::time("spray:targets", || match cfg.targets_memo {
-        Some(world_key) => (*cached_targets(world_key, topo, provider, workload, cfg.top_k)).clone(),
-        None => build_targets(topo, provider, workload, cfg.top_k),
-    });
-    let rtt_model = RttModel::default();
+/// `repro serve` advances windows forever; recompiling routes and plans
+/// per window chunk would dominate. The engine front-loads everything the
+/// per-window loop needs — targets, compiled plan batches, the interned
+/// UTC-offset table, per-target client metadata — and then
+/// [`sample_windows`](Self::sample_windows) evaluates any window set
+/// against it. The batch entry point [`spray`] is a thin wrapper
+/// (build engine, sample the full campaign window list once), so the
+/// streaming path is bit-identical to the batch path *by construction*:
+/// there is only one sampling loop.
+pub struct SprayEngine {
+    cfg: SprayConfig,
+    targets: Vec<SprayTarget>,
+    batches: Vec<PathPlanBatch>,
+    offsets: OffsetTable,
+    rtt_model: RttModel,
+    /// Per-target `(client UTC offset, prefix weight)` — the only
+    /// workload/topology facts the window loop consumes.
+    client: Vec<(f64, f64)>,
+}
 
-    let horizon = SimTime::from_days(cfg.days);
-    let windows: Vec<Window> = Window::over(horizon)
-        .filter(|w| w.0 % cfg.window_stride == 0)
-        .collect();
-
-    // Compile every route's measurement plan once, then re-lay the compiled
-    // plans out as per-target structure-of-arrays batches: the per-window
-    // query is a linear pass over flat term lanes, with no topology lookups,
-    // no model lock, and no Arc chases on the hot path. Diurnal factors for
-    // every (window midpoint, UTC offset) pair are tabulated once for the
-    // whole campaign — the sine that used to run per term per window runs
-    // once per table cell.
-    struct RoutePlan {
-        rtt: PathPlan,
-        egress_util: UtilProbe,
-    }
-    let (batches, diurnal) = bb_exec::timing::time("spray:plan", || {
-        let cplan = CongestionPlan::new(congestion);
-        let plans: Vec<Vec<RoutePlan>> = bb_exec::par_map(&targets, |_, target| {
-            let lastmile = CongestionKey::LastMile(target.prefix.lastmile_code());
-            target
-                .routes
-                .iter()
-                .map(|route| {
-                    let link_city = topo.link(route.egress_link).city;
-                    let link_offset = topo.atlas.city(link_city).region.utc_offset_hours();
-                    RoutePlan {
-                        rtt: cplan.compile_path(topo, &route.path, Some(lastmile)),
-                        egress_util: cplan
-                            .probe(CongestionKey::Link(route.egress_link), link_offset),
-                    }
-                })
-                .collect()
+impl SprayEngine {
+    /// Compile the campaign: targets, per-route plans, SoA batches.
+    pub fn new(
+        topo: &Topology,
+        provider: &Provider,
+        workload: &Workload,
+        congestion: &CongestionModel,
+        cfg: &SprayConfig,
+    ) -> Self {
+        let targets = bb_exec::timing::time("spray:targets", || match cfg.targets_memo {
+            Some(world_key) => {
+                (*cached_targets(world_key, topo, provider, workload, cfg.top_k)).clone()
+            }
+            None => build_targets(topo, provider, workload, cfg.top_k),
         });
-        let mut offsets = OffsetTable::new();
-        let batches: Vec<PathPlanBatch> = plans
+
+        // Compile every route's measurement plan once, then re-lay the
+        // compiled plans out as per-target structure-of-arrays batches: the
+        // per-window query is a linear pass over flat term lanes, with no
+        // topology lookups, no model lock, and no Arc chases on the hot
+        // path.
+        struct RoutePlan {
+            rtt: PathPlan,
+            egress_util: UtilProbe,
+        }
+        let (batches, offsets) = bb_exec::timing::time("spray:plan", || {
+            let cplan = CongestionPlan::new(congestion);
+            let plans: Vec<Vec<RoutePlan>> = bb_exec::par_map(&targets, |_, target| {
+                let lastmile = CongestionKey::LastMile(target.prefix.lastmile_code());
+                target
+                    .routes
+                    .iter()
+                    .map(|route| {
+                        let link_city = topo.link(route.egress_link).city;
+                        let link_offset = topo.atlas.city(link_city).region.utc_offset_hours();
+                        RoutePlan {
+                            rtt: cplan.compile_path(topo, &route.path, Some(lastmile)),
+                            egress_util: cplan
+                                .probe(CongestionKey::Link(route.egress_link), link_offset),
+                        }
+                    })
+                    .collect()
+            });
+            let mut offsets = OffsetTable::new();
+            let batches: Vec<PathPlanBatch> = plans
+                .iter()
+                .map(|rps| {
+                    let pairs: Vec<(&PathPlan, Option<&UtilProbe>)> =
+                        rps.iter().map(|rp| (&rp.rtt, Some(&rp.egress_util))).collect();
+                    PathPlanBatch::from_route_plans(&pairs, &mut offsets)
+                })
+                .collect();
+            (batches, offsets)
+        });
+        let client: Vec<(f64, f64)> = targets
             .iter()
-            .map(|rps| {
-                let pairs: Vec<(&PathPlan, Option<&UtilProbe>)> =
-                    rps.iter().map(|rp| (&rp.rtt, Some(&rp.egress_util))).collect();
-                PathPlanBatch::from_route_plans(&pairs, &mut offsets)
+            .map(|t| {
+                let prefix = workload.prefix(t.prefix);
+                (
+                    topo.atlas.city(prefix.city).region.utc_offset_hours(),
+                    prefix.weight,
+                )
             })
             .collect();
+
+        SprayEngine {
+            cfg: cfg.clone(),
+            targets,
+            batches,
+            offsets,
+            rtt_model: RttModel::default(),
+            client,
+        }
+    }
+
+    /// The compiled targets, in the order `sample_windows` reports them.
+    pub fn targets(&self) -> &[SprayTarget] {
+        &self.targets
+    }
+
+    /// Consume the engine, yielding the targets (for `SprayDataset`).
+    pub fn into_targets(self) -> Vec<SprayTarget> {
+        self.targets
+    }
+
+    /// The campaign window list of `cfg`: every `window_stride`-th
+    /// 15-minute window over `days`, the batch universe. Streaming callers
+    /// take a prefix (or extend past the batch horizon with
+    /// [`window_at`](Self::window_at)).
+    pub fn batch_windows(&self) -> Vec<Window> {
+        Window::over(SimTime::from_days(self.cfg.days))
+            .filter(|w| w.0 % self.cfg.window_stride == 0)
+            .collect()
+    }
+
+    /// The `i`-th window of the (unbounded) campaign universe: strided
+    /// window indices continue past the batch horizon, so a serve run can
+    /// outlive `cfg.days` without changing any window it shares with the
+    /// batch run.
+    pub fn window_at(&self, i: u64) -> Window {
+        Window((i * self.cfg.window_stride as u64) as u32)
+    }
+
+    /// Sample `windows` on every target, returning per-target row vectors
+    /// (index-aligned with [`targets`](Self::targets); rows window-ordered
+    /// within each target). Every RNG stream is keyed on
+    /// `(seed, window, target, route)` — never on worker schedule or on
+    /// which chunk of windows a call covers — so sampling the campaign in
+    /// one call or in chunks yields identical bytes.
+    pub fn sample_windows(
+        &self,
+        windows: &[Window],
+        faults: Option<&FaultPlane>,
+    ) -> Vec<Vec<WindowRow>> {
+        let cfg = &self.cfg;
+        let rtt_model = &self.rtt_model;
+        // Diurnal factors for every (window midpoint, UTC offset) pair are
+        // tabulated once per call — the sine that used to run per term per
+        // window runs once per table cell. The factors depend only on the
+        // (time, offset) pair, so chunked tabulation reads the same bits
+        // the whole-campaign table would.
         let times: Vec<SimTime> = windows.iter().map(|w| w.midpoint()).collect();
-        let diurnal = DiurnalTable::build(&times, &offsets);
-        (batches, diurnal)
-    });
+        let diurnal = DiurnalTable::build(&times, &self.offsets);
 
-    // The log-normal jitter map `z ↦ median·exp(sigma·z)` is monotone
-    // non-decreasing for sigma, median ≥ 0, so (a) each session's min
-    // jitter is the jitter of the session's min deviate (one exp per
-    // session — `sample_min_rtt` has always exploited this) and (b) with an
-    // odd session count the window median — an exact order statistic under
-    // `quantile_select` — commutes with the map too: one exp per
-    // (window, route) instead of one per session, same bits.
-    let monotone_jitter = rtt_model.jitter_sigma >= 0.0 && rtt_model.jitter_median_ms >= 0.0;
-    let odd_sessions = cfg.sessions_per_window % 2 == 1;
-    let jitter_of = |min_z: f64| {
-        rtt_model.jitter_median_ms * (rtt_model.jitter_sigma * min_z).exp()
-    };
+        // The log-normal jitter map `z ↦ median·exp(sigma·z)` is monotone
+        // non-decreasing for sigma, median ≥ 0, so (a) each session's min
+        // jitter is the jitter of the session's min deviate (one exp per
+        // session — `sample_min_rtt` has always exploited this) and (b)
+        // with an odd session count the window median — an exact order
+        // statistic under `quantile_select` — commutes with the map too:
+        // one exp per (window, route) instead of one per session, same
+        // bits.
+        let monotone_jitter = rtt_model.jitter_sigma >= 0.0 && rtt_model.jitter_median_ms >= 0.0;
+        let odd_sessions = cfg.sessions_per_window % 2 == 1;
+        let jitter_of =
+            |min_z: f64| rtt_model.jitter_median_ms * (rtt_model.jitter_sigma * min_z).exp();
 
-    // One task per target; each task's RNG streams are keyed on
-    // (seed, window, target index, route index), so the rows are identical
-    // for every worker count, and the in-order flatten keeps the row order
-    // of the old sequential nesting (target-major, window-minor).
-    let per_target: Vec<(Vec<WindowRow>, crate::FaultTally, KernelTally)> =
-        bb_exec::timing::time("spray:windows", || bb_exec::par_map(&targets, |ti, target| {
-            let prefix = workload.prefix(target.prefix);
-            let client_offset = topo
-                .atlas
-                .city(prefix.city)
-                .region
-                .utc_offset_hours();
-            let batch = &batches[ti];
+        // One task per target; the in-order merge keeps the row order of
+        // the old sequential nesting (target-major, window-minor).
+        let per_target: Vec<(Vec<WindowRow>, crate::FaultTally, KernelTally)> =
+            bb_exec::timing::time("spray:windows", || {
+                bb_exec::par_map(&self.targets, |ti, target| {
+            let (client_offset, prefix_weight) = self.client[ti];
+            let batch = &self.batches[ti];
 
             // Scratch reused across every (window, route) of this target:
             // session values, batch kernel lanes, per-session minima, and
@@ -405,7 +475,7 @@ pub fn spray(
                     utils.push(batch.probe_util(ri, t, drow));
                 }
                 let volume =
-                    prefix.weight * bb_workload::diurnal_activity(t.local_hour(client_offset));
+                    prefix_weight * bb_workload::diurnal_activity(t.local_hour(client_offset));
                 rows.push(WindowRow {
                     window: w,
                     pop: target.pop,
@@ -418,28 +488,55 @@ pub fn spray(
                 crate::progress::window_done();
             }
             (rows, tally, ktally)
-        }));
-    let mut tally = crate::FaultTally::default();
-    let mut ktally = KernelTally::default();
-    let mut rows: Vec<WindowRow> = Vec::new();
-    for (target_rows, target_tally, target_ktally) in per_target {
-        rows.extend(target_rows);
-        tally.merge(target_tally);
-        ktally.merge(target_ktally);
-    }
-    if faults.is_some() {
-        tally.publish();
-    }
-    ktally.publish();
+                })
+            });
+        let mut tally = crate::FaultTally::default();
+        let mut ktally = KernelTally::default();
+        let mut out: Vec<Vec<WindowRow>> = Vec::with_capacity(per_target.len());
+        for (target_rows, target_tally, target_ktally) in per_target {
+            out.push(target_rows);
+            tally.merge(target_tally);
+            ktally.merge(target_ktally);
+        }
+        if faults.is_some() {
+            tally.publish();
+        }
+        ktally.publish();
 
-    let route_windows: usize = targets.iter().map(|t| t.routes.len()).sum::<usize>()
-        * windows.len();
-    bb_exec::timing::add_count(
-        "samples:spray",
-        route_windows * cfg.sessions_per_window * cfg.rtt_samples_per_session,
-    );
+        let route_windows: usize =
+            self.targets.iter().map(|t| t.routes.len()).sum::<usize>() * windows.len();
+        bb_exec::timing::add_count(
+            "samples:spray",
+            route_windows * cfg.sessions_per_window * cfg.rtt_samples_per_session,
+        );
+        out
+    }
+}
 
-    SprayDataset { targets, rows }
+/// Run the spray campaign.
+///
+/// With `faults: Some(..)` the campaign runs through the measurement fault
+/// plane: sprayed sessions are lost/timed out and retried with bounded
+/// backoff, churned-away routes lose whole windows, and routes that keep
+/// fewer than `min_samples_per_window` sessions report a `NaN` median
+/// (flagged, never averaged). `faults: None` takes the exact pre-fault
+/// code path.
+pub fn spray(
+    topo: &Topology,
+    provider: &Provider,
+    workload: &Workload,
+    congestion: &CongestionModel,
+    faults: Option<&FaultPlane>,
+    cfg: &SprayConfig,
+) -> SprayDataset {
+    let engine = SprayEngine::new(topo, provider, workload, congestion, cfg);
+    let windows = engine.batch_windows();
+    let per_target = engine.sample_windows(&windows, faults);
+    let rows: Vec<WindowRow> = per_target.into_iter().flatten().collect();
+    SprayDataset {
+        targets: engine.into_targets(),
+        rows,
+    }
 }
 
 /// Compute per-prefix spray targets: serving PoP, top-k routes, realized

@@ -7,6 +7,10 @@
 //! repro merge SHARD_DIR... [--csv DIR] [--report]
 //! repro orchestrate N [--dir DIR] [--scale ...] [--seed N] [--csv DIR]
 //!       [--chaos off|light|heavy] [--hang-timeout SECS] [--timing-json PATH]
+//! repro serve --dir DIR [--windows N] [--epoch K] [--epsilon E]
+//!       [--mem-limit BYTES] [--epoch-deadline SECS] [--scale ...] [--seed N]
+//!       [--jobs N] [--faults ...] [--csv DIR] [--chaos] [--timing]
+//!       [--timing-json PATH]
 //!
 //! EXPERIMENT: all (default) | fig1 | fig2 | s311 | fig3 | fig4 | fig5 |
 //!             calib | goodput | xpeer | xgroom | xsites | xonenet | xsplit |
@@ -35,10 +39,31 @@
 //! injector (children crashed, stalled, and one manifest torn, all keyed
 //! on the seed) so the recovery machinery can be exercised reproducibly.
 //!
+//! `repro serve` is the streaming (daemon) shape of the §3.1 spray
+//! campaign: it advances measurement windows on the simulated clock in
+//! epochs of `--epoch K` windows, and at every epoch boundary flushes its
+//! entire accumulated state to a versioned `snapshot.bbsn` file (atomic
+//! temp-file + fsync + rename + dir-fsync), so a SIGKILL at any instant
+//! costs at most one epoch of (deterministically resampled) work and a
+//! restart with the same `--dir` resumes to *byte-identical* eventual
+//! output. `--epsilon ε > 0` switches from exact row retention to
+//! bounded-memory mergeable quantile sketches per ⟨PoP, prefix⟩ group
+//! (O(1) memory per key no matter how many windows stream through);
+//! `--mem-limit BYTES` arms a resource governor that coarsens every
+//! sketch one level per round — halving memory, doubling ε — whenever the
+//! counter-based resident accounting crosses the limit, so the daemon
+//! degrades resolution instead of growing toward an OOM kill. Snapshot
+//! resume is keyed (seed, scale, faults, ε, epoch size, CSV, code
+//! schema); a mismatched snapshot is rejected (exit 2), never silently
+//! reused. A per-epoch watchdog (`--epoch-deadline`) counts and reports
+//! overruns without ever intervening — wall-clock never shapes output
+//! bytes.
+//!
 //! `repro audit` builds the same shared worlds and studies as the figures
 //! and sweeps them through `bb-audit`'s invariant rules (valley-free
 //! paths, speed-of-light RTT bounds, timeout censoring, CDF monotonicity,
-//! weight conservation, coverage accounting, churn-interval shape) plus
+//! weight conservation, coverage accounting, churn-interval shape,
+//! sketch quantile-error bounds at epoch boundaries) plus
 //! four metamorphic relations on `Scale::Test` slices (faults-off
 //! equivalence, jobs independence, ablation directionality, shard
 //! independence).
@@ -277,6 +302,8 @@ fn parse_args() -> Args {
                      repro merge SHARD_DIR... [--csv DIR] [--report]\n\
                      repro orchestrate N [--dir DIR] [--chaos off|light|heavy] \
                      [--hang-timeout SECS]\n\
+                     repro serve --dir DIR [--windows N] [--epoch K] [--epsilon E] \
+                     [--mem-limit BYTES]\n\
                      experiments: all fig1 fig2 s311 fig3 fig4 fig5 calib goodput \
                      xpeer xgroom xsites xonenet xsplit xablate xavail xhybrid xfabric xecs audit\n\
                      audit      sweep the built worlds and studies through bb-audit's\n\
@@ -304,9 +331,13 @@ fn parse_args() -> Args {
                      {:11}--report prints a per-shard diagnosis on failure\n\
                      orchestrate N  spawn N supervised shard processes, restart\n\
                      {:11}crashed/hung ones from their checkpoints, auto-merge\n\
+                     serve      streaming daemon: advance the spray campaign in\n\
+                     {:11}epochs, snapshot state atomically every epoch, resume\n\
+                     {:11}after SIGKILL byte-identically; --epsilon E > 0 uses\n\
+                     {:11}bounded-memory sketches, --mem-limit arms the governor\n\
                      exit codes: 0 ok, 1 runtime failure, 2 usage error, \
                      130 interrupted (resumable)",
-                    "", "", "", "", "", "", "", "", "", "", "", "", "", ""
+                    "", "", "", "", "", "", "", "", "", "", "", "", "", "", "", "", ""
                 );
                 std::process::exit(0);
             }
@@ -427,6 +458,7 @@ fn perf_report(
             budget_exhausted: supervision.budget_exhausted,
         },
         orchestration: None,
+        serve: None,
         congestion_races_closed: beating_bgp::netsim::materialize_races_closed() as u64,
     }
     .finalize()
@@ -945,6 +977,7 @@ fn run_orchestrate() -> ! {
             "BB_REPRO_UNIT_LIMIT",
             "BB_REPRO_CRASH",
             "BB_REPRO_STALL",
+            "BB_REPRO_ENOSPC",
             "BB_AUDIT_VIOLATE",
         ] {
             cmd.env_remove(var);
@@ -1041,6 +1074,7 @@ fn run_orchestrate() -> ! {
                 budget_exhausted: false,
             },
             orchestration: Some(stats),
+            serve: None,
             congestion_races_closed: 0,
         }
         .finalize();
@@ -1109,12 +1143,513 @@ fn run_orchestrate() -> ! {
     finish_merge("repro orchestrate", &dirs, shards, csv_dir.as_deref())
 }
 
+/// `repro serve`: the streaming (daemon) shape of the §3.1 spray campaign.
+///
+/// Advances measurement windows on the simulated clock in epochs of
+/// `--epoch K` windows. At every epoch boundary the entire accumulated
+/// state is flushed as a `bbsn/v1` snapshot (atomic temp-file + fsync +
+/// rename + dir-fsync), so a SIGKILL at any instant costs at most one
+/// epoch of deterministically-resampled work: restarting with the same
+/// `--dir` resumes from the snapshot and the eventual output is
+/// byte-identical to an uninterrupted run at the same (seed, scale,
+/// window count) — for every `--jobs` value.
+///
+/// `--epsilon 0` (default) retains every window row and hands the final
+/// dataset to the *batch* analyzer, so the figure (and `--csv` export) is
+/// byte-identical to `repro fig1` over the same windows. `--epsilon ε > 0`
+/// folds rows into bounded-memory mergeable quantile sketches; with
+/// `--mem-limit BYTES` the governor coarsens the sketches (halving
+/// memory, doubling ε) instead of letting resident state grow — decisions
+/// land only at epoch boundaries, which the snapshot key pins, so
+/// degraded-mode output is as deterministic and resumable as everything
+/// else.
+fn run_serve() -> ! {
+    use beating_bgp::core::serve::{Governor, ServeMode, ServeState};
+    use beating_bgp::core::snapshot::{ServeKey, Snapshot, SNAPSHOT_NAME};
+    use beating_bgp::measure::SprayEngine;
+
+    let argv: Vec<String> = std::env::args().skip(2).collect();
+    let mut scale = Scale::Full;
+    let mut seed = 42u64;
+    let mut jobs = 0usize;
+    let mut faults = FaultLevel::Off;
+    let mut dir: Option<std::path::PathBuf> = None;
+    let mut csv_dir: Option<std::path::PathBuf> = None;
+    let mut windows: Option<u64> = None;
+    let mut epoch = 32u64;
+    let mut epsilon = 0.0f64;
+    let mut mem_limit: Option<u64> = None;
+    let mut epoch_deadline = 60.0f64;
+    let mut chaos = false;
+    let mut timing = false;
+    let mut timing_json: Option<std::path::PathBuf> = None;
+    let usage = |msg: &str| -> ! {
+        eprintln!("repro serve: {msg}");
+        std::process::exit(2);
+    };
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = match argv.get(i).map(String::as_str) {
+                    Some("test") => Scale::Test,
+                    Some("full") => Scale::Full,
+                    Some("large") => Scale::Large,
+                    other => usage(&format!("unknown scale {other:?}; use test|full|large")),
+                };
+            }
+            "--seed" => {
+                i += 1;
+                seed = argv
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--seed needs a number"));
+            }
+            "--jobs" => {
+                i += 1;
+                jobs = argv
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--jobs needs a number"));
+            }
+            "--faults" => {
+                i += 1;
+                faults = match argv.get(i).map(String::as_str).unwrap_or("").parse() {
+                    Ok(level) => level,
+                    Err(e) => usage(&format!("--faults: {e}")),
+                };
+            }
+            "--dir" => {
+                i += 1;
+                dir = Some(std::path::PathBuf::from(
+                    argv.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| usage("--dir needs a directory")),
+                ));
+            }
+            "--csv" => {
+                i += 1;
+                let d = std::path::PathBuf::from(
+                    argv.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| usage("--csv needs a directory")),
+                );
+                if let Err(e) = std::fs::create_dir_all(&d) {
+                    usage(&format!("--csv: cannot create {}: {e}", d.display()));
+                }
+                csv_dir = Some(d);
+            }
+            "--windows" => {
+                i += 1;
+                windows = Some(
+                    argv.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage("--windows needs a number")),
+                );
+            }
+            "--epoch" => {
+                i += 1;
+                epoch = argv
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&k| k >= 1)
+                    .unwrap_or_else(|| usage("--epoch needs a window count >= 1"));
+            }
+            "--epsilon" => {
+                i += 1;
+                epsilon = argv
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|e: &f64| (0.0..1.0).contains(e))
+                    .unwrap_or_else(|| usage("--epsilon needs a value in [0, 1)"));
+            }
+            "--mem-limit" => {
+                i += 1;
+                mem_limit = Some(
+                    argv.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&b| b > 0)
+                        .unwrap_or_else(|| usage("--mem-limit needs a byte count > 0")),
+                );
+            }
+            "--epoch-deadline" => {
+                i += 1;
+                epoch_deadline = argv
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|s: &f64| *s > 0.0)
+                    .unwrap_or_else(|| usage("--epoch-deadline needs seconds > 0"));
+            }
+            "--chaos" => chaos = true,
+            "--timing" => timing = true,
+            "--timing-json" => {
+                i += 1;
+                timing_json = Some(std::path::PathBuf::from(
+                    argv.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| usage("--timing-json needs a file path")),
+                ));
+            }
+            other => usage(&format!("unknown flag {other:?}")),
+        }
+        i += 1;
+    }
+    let dir = dir.unwrap_or_else(|| {
+        usage("--dir DIR is required: the serve directory holds the snapshot the daemon resumes from")
+    });
+    if mem_limit.is_some() && epsilon == 0.0 {
+        usage(
+            "--mem-limit needs --epsilon E > 0: exact mode retains every row by \
+             contract and the governor refuses to discard data",
+        );
+    }
+
+    beating_bgp::exec::set_jobs(jobs);
+    install_signal_drain();
+    let t0 = std::time::Instant::now();
+
+    // Same world and spray compilation as the batch fig1 path: serve's
+    // window universe is the batch universe (window_at(i) strides exactly
+    // like batch_windows), which is what makes exact mode byte-identical
+    // to `repro fig1` over the same window count.
+    let mut cfg = ScenarioConfig::facebook(seed, scale);
+    cfg.faults = faults.config();
+    eprintln!("[repro] building Facebook-like world…");
+    let scenario = timing::time("world:facebook", || Scenario::build(cfg));
+    let spray_config = SprayConfig {
+        targets_memo: Some(scenario.config.world_key()),
+        ..spray_cfg(scale)
+    };
+    let engine = timing::time("serve:compile", || {
+        SprayEngine::new(
+            &scenario.topo,
+            &scenario.provider,
+            &scenario.workload,
+            &scenario.congestion,
+            &spray_config,
+        )
+    });
+    let batch_horizon = engine.batch_windows().len() as u64;
+    let total_windows = windows.unwrap_or(batch_horizon);
+    let route_counts: Vec<usize> = engine.targets().iter().map(|t| t.routes.len()).collect();
+    let mode = ServeMode::from_eps(epsilon);
+    let key = ServeKey::new(
+        seed,
+        scale_label(scale),
+        faults.as_str(),
+        epsilon,
+        epoch,
+        csv_dir.is_some(),
+    );
+
+    // Fresh start or snapshot resume. A missing snapshot file is a fresh
+    // start; anything else that fails — stale key, torn bytes, checksum
+    // mismatch — is a hard reject (exit 2): resuming from state we cannot
+    // trust would poison every epoch after it.
+    let snapshot_path = dir.join(SNAPSHOT_NAME);
+    let (mut state, mut epochs_flushed, mut coarsenings, resumed) = if snapshot_path.exists() {
+        let snap = Snapshot::load(&dir).unwrap_or_else(|e| {
+            eprintln!("repro serve: {}: {e}", snapshot_path.display());
+            std::process::exit(2);
+        });
+        if let Err(e) = snap.validate(&key) {
+            eprintln!("repro serve: {}: {e}", snapshot_path.display());
+            std::process::exit(2);
+        }
+        let state = ServeState::decode(&snap.state).unwrap_or_else(|e| {
+            eprintln!("repro serve: {}: {e}", snapshot_path.display());
+            std::process::exit(2);
+        });
+        if state.windows_done() != snap.windows_done {
+            eprintln!(
+                "repro serve: {}: snapshot header says {} windows but state blob \
+                 carries {} — refusing to resume",
+                snapshot_path.display(),
+                snap.windows_done,
+                state.windows_done()
+            );
+            std::process::exit(2);
+        }
+        eprintln!(
+            "[repro] serve: resuming at window {}/{total_windows} (epoch {}, {} governor \
+             coarsenings so far) from {}",
+            snap.windows_done,
+            snap.epochs,
+            snap.coarsenings,
+            snapshot_path.display()
+        );
+        (state, snap.epochs, snap.coarsenings, true)
+    } else {
+        (ServeState::new(mode, &route_counts), 0u64, 0u64, false)
+    };
+
+    let governor = mem_limit.map(Governor::new);
+    let watchdog = beating_bgp::exec::watchdog::Watchdog::new(
+        "serve:epoch",
+        std::time::Duration::from_secs_f64(epoch_deadline),
+    );
+    // `--chaos`: deterministic self-crash (exit 101, like an escaped
+    // panic) right after a seed-keyed epoch's snapshot lands — fresh runs
+    // only, so the restarted daemon completes. Exercises the
+    // kill-mid-campaign path without an external killer.
+    let chaos_epoch = 1 + seed % 3;
+    let mut deadline_misses = 0u64;
+    let mut peak_resident = state.resident_bytes();
+
+    while state.windows_done() < total_windows && !INTERRUPTED.load(Ordering::Relaxed) {
+        let started = std::time::Instant::now();
+        let lo = state.windows_done();
+        let hi = (lo + epoch).min(total_windows);
+        let chunk: Vec<beating_bgp::netsim::Window> =
+            (lo..hi).map(|i| engine.window_at(i)).collect();
+        let per_target = timing::time("serve:sample", || {
+            engine.sample_windows(&chunk, scenario.fault_plane())
+        });
+        state.ingest(per_target, hi - lo);
+        if let Some(gov) = &governor {
+            let rounds = gov.enforce(&mut state);
+            if rounds > 0 {
+                coarsenings += rounds;
+                eprintln!(
+                    "[repro] serve: governor coarsened sketches {rounds} round(s) at \
+                     window {} (resident {} bytes, limit {} bytes, eps now {})",
+                    state.windows_done(),
+                    state.resident_bytes(),
+                    gov.limit_bytes,
+                    state.current_eps()
+                );
+            }
+        }
+        peak_resident = peak_resident.max(state.resident_bytes());
+        epochs_flushed += 1;
+        let snap = Snapshot {
+            key: key.clone(),
+            windows_done: state.windows_done(),
+            epochs: epochs_flushed,
+            coarsenings,
+            state: state.encode(),
+        };
+        // Snapshot and heartbeat writers fail closed (exit 1, named path):
+        // the previous epoch's snapshot is still whole on disk, so a rerun
+        // resumes from it and loses at most this epoch.
+        if let Err(e) = timing::time("serve:flush", || snap.save(&dir)) {
+            eprintln!("repro serve: snapshot flush failed: {e}");
+            eprintln!(
+                "repro serve: previous snapshot in {} is intact; rerun the same \
+                 command to resume after freeing space",
+                dir.display()
+            );
+            std::process::exit(1);
+        }
+        let hb = Heartbeat::now(state.windows_done(), epochs_flushed);
+        if let Err(e) = hb.save(&dir) {
+            eprintln!("repro serve: heartbeat write failed: {e}");
+            eprintln!(
+                "repro serve: snapshot in {} is intact; rerun the same command to \
+                 resume after freeing space",
+                dir.display()
+            );
+            std::process::exit(1);
+        }
+        // Live sketch-mode figure export at every epoch boundary: the
+        // whole point of the sketch is that a current figure is always
+        // cheap. (Exact mode defers to the batch analyzer at the end —
+        // recomputing bootstrap CIs per epoch would swamp sampling.)
+        if let (Some(csv), ServeMode::Sketch { .. }) = (&csv_dir, mode) {
+            if let Ok(fig) = state.sketch_fig1(engine.targets()) {
+                let path = csv.join("fig1.csv");
+                if let Err(e) =
+                    beating_bgp::core::export::write_atomic_bytes(
+                        &path,
+                        &beating_bgp::core::export::fig1_csv_bytes(&fig),
+                    )
+                {
+                    eprintln!("repro serve: live CSV export failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        if watchdog.observe(started) {
+            deadline_misses += 1;
+        }
+        if chaos && !resumed && epochs_flushed == chaos_epoch {
+            eprintln!(
+                "[repro] serve: --chaos simulated crash after epoch {epochs_flushed} \
+                 (snapshot flushed; rerun the same command to resume)"
+            );
+            std::process::exit(101);
+        }
+    }
+
+    if state.windows_done() < total_windows {
+        // Signal drain: the last completed epoch is on disk; mid-epoch
+        // windows are resampled deterministically on resume.
+        eprintln!("=== INTERRUPTED (resumable) ===");
+        eprintln!(
+            "  {}/{} windows ingested; snapshot flushed to {}",
+            state.windows_done(),
+            total_windows,
+            snapshot_path.display()
+        );
+        eprintln!("  rerun the same command to resume");
+        eprintln!("=== END INTERRUPTED ===");
+        std::process::exit(130);
+    }
+
+    // Campaign horizon reached: emit the figure.
+    let mode_label = match mode {
+        ServeMode::Exact => "exact",
+        ServeMode::Sketch { .. } => "sketch",
+    };
+    let eps_in_force = state.current_eps();
+    let resident_bytes = state.resident_bytes();
+    let windows_done = state.windows_done();
+    let render = match mode {
+        ServeMode::Exact => {
+            let rows = state.into_rows().unwrap_or_else(|e| {
+                eprintln!("repro serve: {e}");
+                std::process::exit(1);
+            });
+            let dataset = beating_bgp::measure::SprayDataset {
+                targets: engine.into_targets(),
+                rows,
+            };
+            let study = timing::time("egress:analyze", || {
+                study_egress::analyze(&scenario, &spray_config, dataset)
+            })
+            .unwrap_or_else(|e| {
+                eprintln!("repro serve: {e}");
+                std::process::exit(1);
+            });
+            if let Some(csv) = &csv_dir {
+                if let Err(e) = beating_bgp::core::export::write_atomic_bytes(
+                    &csv.join("fig1.csv"),
+                    &beating_bgp::core::export::fig1_csv_bytes(&study.fig1),
+                ) {
+                    eprintln!("repro serve: CSV export failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+            format!("{}\n", study.fig1.render())
+        }
+        ServeMode::Sketch { .. } => {
+            let fig = state.sketch_fig1(engine.targets()).unwrap_or_else(|e| {
+                eprintln!("repro serve: {e}");
+                std::process::exit(1);
+            });
+            if let Some(csv) = &csv_dir {
+                if let Err(e) = beating_bgp::core::export::write_atomic_bytes(
+                    &csv.join("fig1.csv"),
+                    &beating_bgp::core::export::fig1_csv_bytes(&fig),
+                ) {
+                    eprintln!("repro serve: CSV export failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+            let mut s = fig.render();
+            if let Some(note) = state.sketch_disclosure() {
+                s.push_str(&note);
+            }
+            s.push('\n');
+            s
+        }
+    };
+    print!("{render}");
+
+    let wall_s = t0.elapsed().as_secs_f64();
+    if timing {
+        eprint!("{}", timing::report());
+        eprintln!(
+            "serve: {windows_done} windows in {epochs_flushed} epochs, {coarsenings} \
+             coarsening(s), resident {resident_bytes} bytes (peak {peak_resident})"
+        );
+    }
+    if let Some(path) = &timing_json {
+        use beating_bgp::bench as bench;
+        let perf = bench::PerfReport {
+            experiment: "serve".to_string(),
+            scale: scale_label(scale).to_string(),
+            seed,
+            jobs: beating_bgp::exec::jobs(),
+            wall_s,
+            phases: timing::snapshot()
+                .into_iter()
+                .map(|(label, total_s, calls)| bench::PhaseTiming {
+                    label,
+                    total_s,
+                    calls,
+                })
+                .collect(),
+            counters: timing::counters()
+                .into_iter()
+                .map(|(label, count)| bench::CounterSample { label, count })
+                .collect(),
+            total_samples: 0,
+            samples_per_sec: 0.0,
+            plan_compile_s: 0.0,
+            plan_query_s: 0.0,
+            route_cache: {
+                let (hits, misses, resident) = beating_bgp::exec::cache_stats();
+                bench::RouteCacheStats {
+                    hits: hits as u64,
+                    misses: misses as u64,
+                    resident: resident as u64,
+                }
+            },
+            route_cache_by_experiment: Vec::new(),
+            faults: bench::FaultStats {
+                samples_lost: 0,
+                timeouts: 0,
+                retries: 0,
+                windows_dropped: 0,
+                panics_isolated: 0,
+            },
+            supervision: bench::SupervisionStats {
+                attempts: 0,
+                retries: 0,
+                panics_absorbed: 0,
+                recovered: 0,
+                failed: 0,
+                skipped: 0,
+                budget_exhausted: false,
+            },
+            orchestration: None,
+            serve: Some(bench::ServeStats {
+                mode: mode_label.to_string(),
+                epsilon,
+                epsilon_in_force: eps_in_force,
+                windows_done,
+                epochs_flushed,
+                resident_bytes,
+                peak_resident_bytes: peak_resident,
+                governor_coarsenings: coarsenings,
+                deadline_misses,
+                resumed,
+            }),
+            congestion_races_closed: beating_bgp::netsim::materialize_races_closed() as u64,
+        }
+        .finalize();
+        if let Err(e) = std::fs::write(path, perf.to_json()) {
+            eprintln!("--timing-json: cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+    std::process::exit(0);
+}
+
 fn main() {
+    // Fail fast on a malformed injection hook: a typo'd BB_REPRO_ENOSPC
+    // must be a usage error even when the chosen command never writes.
+    beating_bgp::core::export::validate_injection_env();
     if std::env::args().nth(1).as_deref() == Some("merge") {
         run_merge();
     }
     if std::env::args().nth(1).as_deref() == Some("orchestrate") {
         run_orchestrate();
+    }
+    if std::env::args().nth(1).as_deref() == Some("serve") {
+        run_serve();
     }
     let args = parse_args();
     let t0 = std::time::Instant::now();
@@ -1639,23 +2174,35 @@ fn main() {
             Some(Arc::new((dir.clone(), Mutex::new(ck))))
         }
     };
-    let flush = |shared: &(std::path::PathBuf, Mutex<Checkpoint>), warn: bool| {
+    // Checkpoint writers fail *closed*: a flush that cannot land means the
+    // manifest on disk is stale, and limping on would silently discard
+    // completed experiments at the next resume. The atomic writer
+    // guarantees the previous manifest is still whole, so exiting 1 here
+    // (with the failing path in the message) loses at most the window
+    // since the last successful flush — rerunning resumes from it.
+    let flush = |shared: &(std::path::PathBuf, Mutex<Checkpoint>)| {
         let mut ck = shared.1.lock().unwrap_or_else(|e| e.into_inner());
         ck.windows_done = beating_bgp::measure::progress::windows_done();
         timing::time("checkpoint:flush", || {
             if let Err(e) = ck.save(&shared.0) {
-                if warn {
-                    eprintln!("[repro] warning: checkpoint flush failed: {e}");
-                }
+                eprintln!("repro: checkpoint flush failed: {e}");
+                eprintln!(
+                    "repro: previous manifest in {} is intact; rerun with --resume \
+                     after freeing space",
+                    shared.0.display()
+                );
+                std::process::exit(1);
             }
         });
     };
     // Liveness heartbeat: a tiny progress record (`heartbeat.bbhb`)
     // rewritten atomically but *without* fsync — the orchestrator watches
-    // its content for change to tell a slow shard from a hung one, and a
-    // lost heartbeat costs nothing (the manifest carries the durable
-    // state). `units_done` counts finalized experiments, bumped in
-    // `on_final` below.
+    // its content for change to tell a slow shard from a hung one.
+    // `units_done` counts finalized experiments, bumped in `on_final`
+    // below. Like the manifest flush it fails closed: a heartbeat that
+    // cannot be written is the same disk failure that will eat the next
+    // manifest flush, and a clean exit 1 now (prior artifacts intact)
+    // beats a torn write later.
     let units_done = Arc::new(AtomicUsize::new(0));
     let beat = {
         let units = Arc::clone(&units_done);
@@ -1665,10 +2212,15 @@ fn main() {
                 units.load(Ordering::Relaxed) as u64,
             );
             timing::time("checkpoint:heartbeat", || {
-                // Best-effort by design: a failed heartbeat write must never
-                // fail the run, and a stale heartbeat at worst triggers one
-                // spurious restart (which resumes from the checkpoint).
-                let _ = hb.save(&shared.0);
+                if let Err(e) = hb.save(&shared.0) {
+                    eprintln!("repro: heartbeat write failed: {e}");
+                    eprintln!(
+                        "repro: checkpoint in {} is intact; rerun with --resume \
+                         after freeing space",
+                        shared.0.display()
+                    );
+                    std::process::exit(1);
+                }
             });
         }
     };
@@ -1692,7 +2244,7 @@ fn main() {
             Arc::new(move |n| {
                 b(&s);
                 if n % 32_768 == 0 {
-                    flush(&s, false);
+                    flush(&s);
                 }
             }),
         );
@@ -1769,7 +2321,7 @@ fn main() {
                 ck.record(run_list[i].0, unit.clone());
             }
             units_done.fetch_add(1, Ordering::Relaxed);
-            flush(shared, true);
+            flush(shared);
             beat(shared);
             // The injected crash fires only after the unit was flushed, so
             // every crash leaves resumable progress behind — the property
@@ -1847,7 +2399,7 @@ fn main() {
     if interrupted {
         match &ck_shared {
             Some(shared) => {
-                flush(shared, true);
+                flush(shared);
                 let done = shared.1.lock().unwrap_or_else(|e| e.into_inner()).units.len();
                 eprintln!("=== INTERRUPTED (resumable) ===");
                 eprintln!(

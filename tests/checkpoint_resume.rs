@@ -258,6 +258,81 @@ fn stale_checkpoint_is_rejected_not_reused() {
 }
 
 #[test]
+fn zero_length_manifest_is_rejected_with_diagnosis() {
+    let base = tmpdir("zerolen");
+    let ck = base.join("ck");
+    let seeded = run(
+        &[
+            "calib", "--scale", "test", "--seed", "42",
+            "--checkpoint", ck.to_str().unwrap(),
+        ],
+        &[],
+    );
+    assert!(seeded.status.success(), "{seeded:?}");
+
+    // An atomic writer can never produce a 0-byte manifest, so this is
+    // filesystem damage, not a torn tail — diagnosed, never salvaged.
+    std::fs::write(ck.join("checkpoint.bbck"), b"").unwrap();
+    let out = run(
+        &[
+            "calib", "--scale", "test", "--seed", "42",
+            "--resume", ck.to_str().unwrap(),
+        ],
+        &[],
+    );
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("empty"), "{err}");
+    assert!(err.contains("byte offset 0"), "{err}");
+    assert!(err.contains("refusing to salvage"), "{err}");
+
+    std::fs::remove_dir_all(&base).ok();
+}
+
+#[test]
+fn mid_file_corruption_is_rejected_with_byte_offset_not_salvaged() {
+    let base = tmpdir("midcorrupt");
+    let ck = base.join("ck");
+    let seeded = run(
+        &[
+            "calib", "--scale", "test", "--seed", "42",
+            "--checkpoint", ck.to_str().unwrap(),
+        ],
+        &[],
+    );
+    assert!(seeded.status.success(), "{seeded:?}");
+
+    // Flip one byte inside the first unit's stdout blob (just past its
+    // `unit ...` record-header line). The bytes are all present, so this
+    // is mid-file corruption: a checksum mismatch naming the blob's byte
+    // offset, never a salvage of the damaged prefix.
+    let manifest = ck.join("checkpoint.bbck");
+    let mut bytes = std::fs::read(&manifest).unwrap();
+    let rec = bytes
+        .windows(6)
+        .position(|w| w == b"\nunit ")
+        .expect("manifest has a unit record");
+    let blob_at = rec + 1 + bytes[rec + 1..].iter().position(|&b| b == b'\n').unwrap() + 1;
+    bytes[blob_at + 2] ^= 0x20;
+    std::fs::write(&manifest, &bytes).unwrap();
+
+    let out = run(
+        &[
+            "calib", "--scale", "test", "--seed", "42",
+            "--resume", ck.to_str().unwrap(),
+        ],
+        &[],
+    );
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("checksum mismatch"), "{err}");
+    assert!(err.contains(&format!("byte offset {blob_at}")), "{err}");
+    assert!(err.contains("mid-file corruption"), "{err}");
+
+    std::fs::remove_dir_all(&base).ok();
+}
+
+#[test]
 fn transient_poison_recovers_via_supervised_retry() {
     // fig5 panics on its first two attempts, succeeds on the third: the
     // supervisor absorbs both panics, and the final output is identical to

@@ -1,0 +1,106 @@
+//! Property-based tests on the mergeable quantile sketch (`bbqs/v1`).
+//!
+//! The serve daemon's byte-identity contract rests on three algebraic
+//! facts about the sketch, each checked here against arbitrary weighted
+//! streams:
+//!
+//! * merge is **associative and commutative at the byte level** — the
+//!   encoded bytes of `(a ∪ b) ∪ c` equal those of `a ∪ (b ∪ c)` and of
+//!   any other merge order, which is what makes shard/epoch order
+//!   invisible in the output;
+//! * a stream split into chunks and merged equals the whole-stream sketch
+//!   byte-for-byte (the streaming daemon IS this property);
+//! * every quantile estimate stays within the declared relative-error
+//!   bound of the exact `weighted_quantile` truth, before and after
+//!   coarsening, and the encode/decode round trip is the identity.
+
+use beating_bgp::stats::{weighted_quantile, QuantileSketch};
+use proptest::prelude::*;
+
+/// Weighted samples shaped like the serve stream's preferred-vs-alternate
+/// diffs: signed, spanning several orders of magnitude, unit-ish weights.
+fn samples(max_len: usize) -> impl Strategy<Value = Vec<(f64, f64)>> {
+    prop::collection::vec((-1e4f64..1e4, 0.5f64..4.0), 1..max_len)
+}
+
+fn sketch_of(eps: f64, data: &[(f64, f64)]) -> QuantileSketch {
+    let mut sk = QuantileSketch::new(eps);
+    for &(v, w) in data {
+        sk.add(v, w);
+    }
+    sk
+}
+
+proptest! {
+    /// Merge order never shows in the encoded bytes: left-fold,
+    /// right-fold, and reversed-order folds all agree.
+    #[test]
+    fn merge_is_associative_and_commutative_at_byte_level(
+        a in samples(60),
+        b in samples(60),
+        c in samples(60),
+        eps in 0.005f64..0.2,
+    ) {
+        let (sa, sb, sc) = (sketch_of(eps, &a), sketch_of(eps, &b), sketch_of(eps, &c));
+
+        // (a ∪ b) ∪ c
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+        // a ∪ (b ∪ c)
+        let mut right = sb.clone();
+        right.merge(&sc);
+        let mut assoc = sa.clone();
+        assoc.merge(&right);
+        // c ∪ b ∪ a
+        let mut rev = sc.clone();
+        rev.merge(&sb);
+        rev.merge(&sa);
+
+        prop_assert_eq!(left.encode(), assoc.encode(), "merge is not associative");
+        prop_assert_eq!(left.encode(), rev.encode(), "merge is not commutative");
+    }
+
+    /// Chunked ingestion is invisible: splitting the stream at an
+    /// arbitrary set of epoch boundaries and merging the per-epoch
+    /// sketches reproduces the whole-stream sketch byte-for-byte.
+    #[test]
+    fn chunked_merge_equals_whole_stream(
+        data in samples(200),
+        chunk in 1usize..40,
+        eps in 0.005f64..0.2,
+    ) {
+        let whole = sketch_of(eps, &data);
+        let mut merged = QuantileSketch::new(eps);
+        for epoch in data.chunks(chunk) {
+            merged.merge(&sketch_of(eps, epoch));
+        }
+        prop_assert_eq!(whole.encode(), merged.encode());
+    }
+
+    /// The accuracy contract: |estimate − truth| ≤ ε·|truth| at every
+    /// probed quantile, where ε is the sketch's *current* (possibly
+    /// coarsened) resolution; and decode(encode(s)) is the identity.
+    #[test]
+    fn quantile_error_is_bounded_and_roundtrip_is_identity(
+        data in samples(200),
+        eps in 0.005f64..0.2,
+        coarsen_rounds in 0u32..3,
+    ) {
+        let mut sk = sketch_of(eps, &data);
+        for _ in 0..coarsen_rounds {
+            sk.coarsen();
+        }
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0] {
+            let truth = weighted_quantile(&data, q).unwrap();
+            let est = sk.quantile(q).unwrap();
+            prop_assert!(
+                (est - truth).abs() <= sk.eps() * truth.abs() + 1e-9,
+                "q={} est={} truth={} eps={}", q, est, truth, sk.eps()
+            );
+        }
+        let bytes = sk.encode();
+        let back = QuantileSketch::decode(&bytes).expect("decode own encoding");
+        prop_assert_eq!(bytes, back.encode());
+    }
+}

@@ -1,0 +1,255 @@
+//! Integration tests for `repro serve`, the crash-tolerant streaming
+//! campaign daemon (ISSUE 9 acceptance criteria):
+//!
+//! - a serve killed mid-campaign (`--chaos` exits 101 right after an epoch
+//!   snapshot lands — the deterministic stand-in for `kill -9`) and then
+//!   restarted with the same command produces stdout and live CSV
+//!   byte-identical to an uninterrupted serve, for `--jobs 1` and
+//!   `--jobs 4` alike, including under a heavy fault storm;
+//! - exact mode (`--epsilon 0`) reproduces the batch `fig1` pipeline
+//!   byte-for-byte, stdout and CSV both;
+//! - sketch mode memory stays flat while the window count grows 10x;
+//! - a snapshot keyed on a different seed/epsilon/epoch is rejected with
+//!   exit 2, never silently reused.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bb_serve_{}_{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn run(args: &[&str]) -> Output {
+    let mut cmd = repro();
+    cmd.args(args);
+    cmd.output().expect("spawn repro")
+}
+
+fn read_file(path: &Path) -> Vec<u8> {
+    std::fs::read(path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+#[test]
+fn chaos_crash_and_restart_is_byte_identical_across_job_counts() {
+    for jobs in ["1", "4"] {
+        let base = tmpdir(&format!("chaos_j{jobs}"));
+        let clean_csv = base.join("clean-csv");
+        let crash_csv = base.join("crash-csv");
+
+        // Uninterrupted reference serve at the same (seed, scale, windows).
+        let clean = run(&[
+            "serve", "--scale", "test", "--seed", "42", "--jobs", jobs,
+            "--windows", "40", "--epoch", "8",
+            "--dir", base.join("clean").to_str().unwrap(),
+            "--csv", clean_csv.to_str().unwrap(),
+        ]);
+        assert!(clean.status.success(), "clean serve failed: {clean:?}");
+        assert!(!clean.stdout.is_empty());
+
+        // Chaos run: crashes (exit 101) right after a seed-keyed epoch's
+        // snapshot is flushed, leaving the snapshot whole and no .tmp.
+        let crash_dir = base.join("crash");
+        let crashed = run(&[
+            "serve", "--scale", "test", "--seed", "42", "--jobs", jobs,
+            "--windows", "40", "--epoch", "8", "--chaos",
+            "--dir", crash_dir.to_str().unwrap(),
+            "--csv", crash_csv.to_str().unwrap(),
+        ]);
+        assert_eq!(
+            crashed.status.code(),
+            Some(101),
+            "chaos serve must exit 101: {crashed:?}"
+        );
+        assert!(crash_dir.join("snapshot.bbsn").exists(), "snapshot not flushed");
+        assert!(
+            !crash_dir.join("snapshot.bbsn.tmp").exists(),
+            "tmp file must not survive the atomic rename"
+        );
+
+        // Restart with the same command: resumed runs never self-crash.
+        let resumed = run(&[
+            "serve", "--scale", "test", "--seed", "42", "--jobs", jobs,
+            "--windows", "40", "--epoch", "8", "--chaos",
+            "--dir", crash_dir.to_str().unwrap(),
+            "--csv", crash_csv.to_str().unwrap(),
+        ]);
+        assert!(resumed.status.success(), "resumed serve failed: {resumed:?}");
+        let stderr = String::from_utf8_lossy(&resumed.stderr);
+        assert!(
+            stderr.contains("serve: resuming at window"),
+            "resume must report its starting window:\n{stderr}"
+        );
+        assert_eq!(
+            clean.stdout, resumed.stdout,
+            "resumed serve stdout differs from uninterrupted serve (jobs {jobs})"
+        );
+        assert_eq!(
+            read_file(&clean_csv.join("fig1.csv")),
+            read_file(&crash_csv.join("fig1.csv")),
+            "resumed serve CSV differs from uninterrupted serve (jobs {jobs})"
+        );
+
+        std::fs::remove_dir_all(&base).ok();
+    }
+}
+
+#[test]
+fn chaos_crash_and_restart_survives_a_heavy_fault_storm() {
+    let base = tmpdir("storm");
+    let clean = run(&[
+        "serve", "--scale", "test", "--seed", "43", "--jobs", "4",
+        "--faults", "heavy", "--windows", "40", "--epoch", "8",
+        "--dir", base.join("clean").to_str().unwrap(),
+    ]);
+    assert!(clean.status.success(), "{clean:?}");
+
+    let dir = base.join("crash");
+    let crashed = run(&[
+        "serve", "--scale", "test", "--seed", "43", "--jobs", "4",
+        "--faults", "heavy", "--windows", "40", "--epoch", "8", "--chaos",
+        "--dir", dir.to_str().unwrap(),
+    ]);
+    assert_eq!(crashed.status.code(), Some(101), "{crashed:?}");
+
+    let resumed = run(&[
+        "serve", "--scale", "test", "--seed", "43", "--jobs", "4",
+        "--faults", "heavy", "--windows", "40", "--epoch", "8", "--chaos",
+        "--dir", dir.to_str().unwrap(),
+    ]);
+    assert!(resumed.status.success(), "{resumed:?}");
+    assert_eq!(
+        clean.stdout, resumed.stdout,
+        "heavy-fault serve must resume byte-identical"
+    );
+
+    std::fs::remove_dir_all(&base).ok();
+}
+
+#[test]
+fn exact_serve_matches_the_batch_fig1_pipeline_byte_for_byte() {
+    let base = tmpdir("exact");
+    let batch_csv = base.join("batch-csv");
+    let serve_csv = base.join("serve-csv");
+
+    let batch = run(&[
+        "fig1", "--scale", "test", "--seed", "7",
+        "--csv", batch_csv.to_str().unwrap(),
+    ]);
+    assert!(batch.status.success(), "{batch:?}");
+
+    // Default --epsilon is 0 (exact) and the default window target is the
+    // batch horizon, so serve must reduce to exactly the batch study.
+    let serve = run(&[
+        "serve", "--scale", "test", "--seed", "7", "--epoch", "5",
+        "--dir", base.join("sd").to_str().unwrap(),
+        "--csv", serve_csv.to_str().unwrap(),
+    ]);
+    assert!(serve.status.success(), "{serve:?}");
+    assert_eq!(batch.stdout, serve.stdout, "serve stdout differs from batch fig1");
+    assert_eq!(
+        read_file(&batch_csv.join("fig1.csv")),
+        read_file(&serve_csv.join("fig1.csv")),
+        "serve fig1.csv differs from batch fig1.csv"
+    );
+
+    std::fs::remove_dir_all(&base).ok();
+}
+
+#[test]
+fn sketch_memory_stays_flat_while_windows_grow_tenfold() {
+    let base = tmpdir("flat");
+    let peak = |tag: &str, windows: &str| -> (u64, u64) {
+        let json = base.join(format!("{tag}.json"));
+        let out = run(&[
+            "serve", "--scale", "test", "--seed", "42", "--epsilon", "0.05",
+            "--windows", windows, "--epoch", "8",
+            "--dir", base.join(tag).to_str().unwrap(),
+            "--timing-json", json.to_str().unwrap(),
+        ]);
+        assert!(out.status.success(), "{out:?}");
+        let text = String::from_utf8(read_file(&json)).unwrap();
+        let grab = |key: &str| -> u64 {
+            let at = text.find(key).unwrap_or_else(|| panic!("{key} missing:\n{text}"));
+            text[at + key.len()..]
+                .trim_start_matches([':', ' '])
+                .chars()
+                .take_while(|c| c.is_ascii_digit())
+                .collect::<String>()
+                .parse()
+                .unwrap()
+        };
+        (grab("\"windows_done\""), grab("\"peak_resident_bytes\""))
+    };
+
+    let (small_windows, small_peak) = peak("w40", "40");
+    let (big_windows, big_peak) = peak("w400", "400");
+    assert_eq!(small_windows, 40);
+    assert_eq!(big_windows, 400);
+    assert!(small_peak > 0);
+    // Bounded-memory contract: 10x the stream, at most 2x the footprint
+    // (the sketch bucket set saturates; it does not grow with the stream).
+    assert!(
+        big_peak <= 2 * small_peak,
+        "sketch memory grew with the stream: {small_peak} bytes at 40 windows, \
+         {big_peak} bytes at 400"
+    );
+
+    std::fs::remove_dir_all(&base).ok();
+}
+
+#[test]
+fn stale_snapshot_is_rejected_not_reused() {
+    let base = tmpdir("stale");
+    let dir = base.join("sd");
+    let seeded = run(&[
+        "serve", "--scale", "test", "--seed", "42",
+        "--windows", "16", "--epoch", "8",
+        "--dir", dir.to_str().unwrap(),
+    ]);
+    assert!(seeded.status.success(), "{seeded:?}");
+
+    // Each mismatching key field is named; exit 2; stdout stays silent.
+    for (args, field) in [
+        (vec!["--seed", "7", "--windows", "16", "--epoch", "8"], "seed"),
+        (vec!["--seed", "42", "--windows", "16", "--epoch", "4"], "epoch_windows"),
+        (
+            vec!["--seed", "42", "--windows", "16", "--epoch", "8", "--epsilon", "0.05"],
+            "eps",
+        ),
+    ] {
+        let mut argv = vec!["serve", "--scale", "test", "--dir", dir.to_str().unwrap()];
+        argv.extend(args);
+        let out = run(&argv);
+        assert_eq!(out.status.code(), Some(2), "{field}: {out:?}");
+        assert!(out.stdout.is_empty(), "{field}: stdout must stay silent");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            err.contains(&format!("{field} mismatch")),
+            "{field} not named:\n{err}"
+        );
+    }
+
+    // A torn snapshot (mid-file corruption) is rejected too — serve
+    // snapshots have no salvage path; the contract is rerun-to-resume
+    // from the previous whole epoch, never a guess.
+    let snap = dir.join("snapshot.bbsn");
+    let mut bytes = read_file(&snap);
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xff;
+    std::fs::write(&snap, &bytes).unwrap();
+    let torn = run(&[
+        "serve", "--scale", "test", "--seed", "42",
+        "--windows", "16", "--epoch", "8",
+        "--dir", dir.to_str().unwrap(),
+    ]);
+    assert_eq!(torn.status.code(), Some(2), "{torn:?}");
+
+    std::fs::remove_dir_all(&base).ok();
+}
