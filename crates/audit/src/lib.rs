@@ -37,6 +37,7 @@ use std::fmt::Write as _;
 /// exactly these names.
 pub const RULE_NAMES: &[&str] = &[
     "paths.valley_free",
+    "paths.planet_valley_free",
     "rtt.lightspeed",
     "rtt.censoring",
     "cdf.monotone",
@@ -100,6 +101,7 @@ impl AuditReport {
             Scale::Test => "test",
             Scale::Full => "full",
             Scale::Large => "large",
+            Scale::Planet => "planet",
         };
         let mut out = format!(
             "=== AUDIT (seed {}, scale {scale}, faults {}) ===\n",
@@ -194,6 +196,7 @@ pub fn run_audit(
     let poison = |rule: &str| opts.violate.as_deref() == Some(rule);
     let rules = vec![
         valley_free_rule(facebook, egress, poison("paths.valley_free")),
+        planet_valley_free_rule(opts.seed, opts.scale, poison("paths.planet_valley_free")),
         lightspeed_rule(
             facebook,
             egress,
@@ -268,6 +271,78 @@ fn valley_free_rule(scenario: &Scenario, egress: &EgressStudy, poison: bool) -> 
         rule.check(
             bb_bgp::propagation::valley_free(&scenario.topo, &bad),
             || format!("injected self-loop path {bad:?} accepted"),
+        );
+    }
+    rule.finish()
+}
+
+/// `paths.planet_valley_free`: the planet-tier propagation pipeline — the
+/// interned-path arena plus the frontier worklist — must still produce
+/// valley-free paths on a planet-*shaped* world (dense transit layer, many
+/// eyeballs per country). The world is sized to the audited scale so the
+/// rule stays cheap in unit tests and CI yet sweeps a true ≥50k-AS build
+/// under `--scale planet`; full announcements from a deterministic origin
+/// sample are checked end to end.
+fn planet_valley_free_rule(seed: u64, scale: Scale, poison: bool) -> RuleReport {
+    let mut rule = Rule::new("paths.planet_valley_free");
+    let mut tcfg = ScenarioConfig::topology_for(Scale::Planet, seed ^ 0x_97a3);
+    match scale {
+        // Mini-planet: the Planet preset's shape at a few hundred ASes.
+        Scale::Test => {
+            tcfg.atlas.city_density = 0.5;
+            tcfg.transits_per_region = 4;
+            tcfg.eyeball_users_per_as_m = 8.0;
+            tcfg.max_eyeballs_per_country = 12;
+        }
+        // Mid-size: a few thousand ASes, still seconds to propagate.
+        Scale::Full | Scale::Large => {
+            tcfg.atlas.city_density = 1.0;
+            tcfg.transits_per_region = 8;
+            tcfg.eyeball_users_per_as_m = 1.6;
+            tcfg.max_eyeballs_per_country = 60;
+        }
+        Scale::Planet => {}
+    }
+    let topo = bb_topology::generate(&tcfg);
+    let eyeballs: Vec<bb_topology::AsId> = topo
+        .ases_of_class(bb_topology::AsClass::Eyeball)
+        .map(|a| a.id)
+        .collect();
+    let n = eyeballs.len();
+    let origins = [eyeballs[0], eyeballs[n / 3], eyeballs[2 * n / 3], eyeballs[n - 1]];
+    // Bound the per-origin path checks so the planet sweep stays linear in
+    // the AS count, not quadratic.
+    let stride = (topo.as_count() / 4096).max(1);
+    for origin in origins {
+        let ann = bb_bgp::Announcement::full(&topo, origin);
+        let table = bb_bgp::compute_routes(&topo, &ann);
+        rule.check(table.reachable_count() == topo.as_count(), || {
+            format!(
+                "origin {origin}: only {} of {} ASes routed",
+                table.reachable_count(),
+                topo.as_count()
+            )
+        });
+        for node in topo.ases().iter().step_by(stride) {
+            match table.as_path(node.id) {
+                Some(path) => rule.check(
+                    bb_bgp::propagation::valley_free(&topo, &path),
+                    || format!("origin {origin}: path {path:?} to {} has a valley", node.id),
+                ),
+                None => rule.check(false, || {
+                    format!("origin {origin}: {} unreachable or via-cycle", node.id)
+                }),
+            }
+        }
+    }
+    if poison {
+        // A fabricated down-then-up walk over real business edges.
+        let o = eyeballs[0];
+        let prov = topo.providers_of(o)[0];
+        let bad = [prov, o, prov];
+        rule.check(
+            bb_bgp::propagation::valley_free(&topo, &bad),
+            || format!("injected valley path {bad:?} accepted"),
         );
     }
     rule.finish()
@@ -1024,7 +1099,7 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), RULE_NAMES.len());
-        assert_eq!(RULE_NAMES.len(), 13);
+        assert_eq!(RULE_NAMES.len(), 14);
     }
 
     #[test]
@@ -1117,9 +1192,10 @@ mod tests {
         // Poison each invariant rule directly against the shared studies
         // (the metamorphic rules re-run whole Test slices, so their poison
         // path is covered by `metamorphic_poison_fires` above; the binary-
-        // level BB_AUDIT_VIOLATE loop in CI covers all thirteen end to end).
+        // level BB_AUDIT_VIOLATE loop in CI covers all fourteen end to end).
         let poisoned = [
             valley_free_rule(&fb, &egress, true),
+            planet_valley_free_rule(7, Scale::Test, true),
             lightspeed_rule(&fb, &egress, &ms, &anycast, &gg, &tiers, true),
             censoring_rule(&fb, &egress, true),
             cdf_monotone_rule(&egress, &anycast, true),

@@ -177,6 +177,38 @@ pub struct ServeStats {
     pub resumed: bool,
 }
 
+/// RIB-memory and propagation-work telemetry, rolled up from the `rib:*`
+/// counters the route cache publishes on every miss. Emitted only when the
+/// run computed at least one routing table — the key is absent otherwise,
+/// keeping `bb-perf-report/v1` additive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RibStats {
+    /// Routing tables computed (cache misses).
+    pub tables: u64,
+    /// Bytes held by the shared-suffix interned-path arenas.
+    pub interned_bytes: u64,
+    /// Bytes the same tables would spend on naive per-AS `Vec<AsId>` paths.
+    pub naive_bytes: u64,
+    /// Bytes held by the announcement entry-link pools.
+    pub entry_pool_bytes: u64,
+    /// Candidate routes offered to the decision process.
+    pub candidates_considered: u64,
+    /// Candidates that won and were installed.
+    pub candidates_installed: u64,
+}
+
+impl RibStats {
+    /// Interned-arena bytes as a fraction of the naive layout; 0 when no
+    /// tables were computed.
+    pub fn interned_ratio(&self) -> f64 {
+        if self.naive_bytes == 0 {
+            0.0
+        } else {
+            self.interned_bytes as f64 / self.naive_bytes as f64
+        }
+    }
+}
+
 /// Schema tag embedded in every report so downstream tooling can detect
 /// layout changes.
 pub const PERF_SCHEMA: &str = "bb-perf-report/v1";
@@ -219,6 +251,10 @@ pub struct PerfReport {
     /// Streaming-daemon telemetry (`repro serve`). Same additive contract
     /// as `orchestration`: the key exists only when the run was a serve.
     pub serve: Option<ServeStats>,
+    /// RIB-memory telemetry, derived by [`PerfReport::finalize`] from the
+    /// `rib:*` counters. Same additive contract: the key exists only when
+    /// the run computed routing tables.
+    pub rib: Option<RibStats>,
     /// Congestion-process double-materializations avoided by the
     /// write-lock double-check (nonzero only under `--jobs > 1`).
     pub congestion_races_closed: u64,
@@ -251,6 +287,22 @@ impl PerfReport {
             .filter(|p| p.label.ends_with(":windows"))
             .map(|p| p.total_s)
             .sum();
+        let rib_counter = |label: &str| {
+            self.counters
+                .iter()
+                .find(|c| c.label == label)
+                .map_or(0, |c| c.count)
+        };
+        if self.counters.iter().any(|c| c.label.starts_with("rib:")) {
+            self.rib = Some(RibStats {
+                tables: rib_counter("rib:tables"),
+                interned_bytes: rib_counter("rib:interned_bytes"),
+                naive_bytes: rib_counter("rib:naive_bytes"),
+                entry_pool_bytes: rib_counter("rib:entry_pool_bytes"),
+                candidates_considered: rib_counter("rib:candidates_considered"),
+                candidates_installed: rib_counter("rib:candidates_installed"),
+            });
+        }
         self
     }
 
@@ -390,6 +442,21 @@ impl PerfReport {
             ));
         }
 
+        if let Some(r) = &self.rib {
+            out.push_str(&format!(
+                "  \"rib\": {{\"tables\": {}, \"interned_bytes\": {}, \"naive_bytes\": {}, \
+                 \"entry_pool_bytes\": {}, \"interned_ratio\": {}, \
+                 \"candidates_considered\": {}, \"candidates_installed\": {}}},\n",
+                r.tables,
+                r.interned_bytes,
+                r.naive_bytes,
+                r.entry_pool_bytes,
+                json_f64(r.interned_ratio()),
+                r.candidates_considered,
+                r.candidates_installed
+            ));
+        }
+
         json_kv_raw(
             &mut out,
             "congestion_races_closed",
@@ -521,6 +588,7 @@ mod tests {
             },
             orchestration: None,
             serve: None,
+            rib: None,
             congestion_races_closed: 0,
         }
         .finalize()
@@ -658,6 +726,60 @@ mod tests {
         }
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert!(!j.contains(",\n}"), "trailing comma before object close");
+    }
+
+    #[test]
+    fn rib_section_rolls_up_from_counters() {
+        // No rib:* counters -> no key: pre-existing reports diff clean.
+        let j = sample_report().to_json();
+        assert!(!j.contains("\"rib\""), "{j}");
+
+        let mut r = sample_report();
+        r.counters.extend([
+            CounterSample {
+                label: "rib:tables".into(),
+                count: 3,
+            },
+            CounterSample {
+                label: "rib:interned_bytes".into(),
+                count: 2_000,
+            },
+            CounterSample {
+                label: "rib:naive_bytes".into(),
+                count: 16_000,
+            },
+            CounterSample {
+                label: "rib:entry_pool_bytes".into(),
+                count: 256,
+            },
+            CounterSample {
+                label: "rib:candidates_considered".into(),
+                count: 900,
+            },
+            CounterSample {
+                label: "rib:candidates_installed".into(),
+                count: 300,
+            },
+        ]);
+        let r = r.finalize();
+        let rib = r.rib.expect("rib counters present");
+        assert_eq!(rib.tables, 3);
+        assert_eq!(rib.interned_ratio(), 0.125);
+        let j = r.to_json();
+        for key in [
+            "\"rib\": {\"tables\": 3",
+            "\"interned_bytes\": 2000",
+            "\"naive_bytes\": 16000",
+            "\"entry_pool_bytes\": 256",
+            "\"interned_ratio\": 0.125",
+            "\"candidates_considered\": 900",
+            "\"candidates_installed\": 300",
+        ] {
+            assert!(j.contains(key), "missing {key} in:\n{j}");
+        }
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert!(!j.contains(",\n}"), "trailing comma before object close");
+        assert_eq!(RibStats::default().interned_ratio(), 0.0);
     }
 
     #[test]

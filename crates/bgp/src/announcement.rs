@@ -12,6 +12,65 @@ use bb_topology::{AsId, InterconnectId, Topology};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
+/// An announcement that does not belong to the topology it is being
+/// propagated over — built against a different world (easy once CAIDA
+/// snapshots load at runtime) or against a since-mutated one. Surfaced as
+/// a usage error instead of a panic so a planet-scale campaign fails
+/// closed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnnouncementError {
+    /// The origin AS id is out of range for this topology.
+    UnknownOrigin { origin: AsId, as_count: usize },
+    /// An offered interconnect id is out of range for this topology.
+    UnknownLink {
+        origin: AsId,
+        link: InterconnectId,
+        link_count: usize,
+    },
+    /// An offered interconnect exists but does not touch the origin.
+    ForeignLink {
+        origin: AsId,
+        link: InterconnectId,
+        a: AsId,
+        b: AsId,
+    },
+    /// An offered link implies no business relationship in this topology.
+    MissingRelationship { origin: AsId, neighbor: AsId },
+}
+
+impl std::fmt::Display for AnnouncementError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnnouncementError::UnknownOrigin { origin, as_count } => write!(
+                f,
+                "announcement origin {origin} is not in this topology ({as_count} ASes) — \
+                 was it built against a different world?"
+            ),
+            AnnouncementError::UnknownLink {
+                origin,
+                link,
+                link_count,
+            } => write!(
+                f,
+                "announcement from {origin} offers {link:?} but this topology has only \
+                 {link_count} interconnects — was it built against a different world?"
+            ),
+            AnnouncementError::ForeignLink { origin, link, a, b } => write!(
+                f,
+                "announcement from {origin} offers {link:?}, which connects {a}–{b}, \
+                 not the origin — it cannot announce over another AS's interconnect"
+            ),
+            AnnouncementError::MissingRelationship { origin, neighbor } => write!(
+                f,
+                "announcement from {origin} offers a link to {neighbor} but the topology \
+                 records no business relationship between them"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AnnouncementError {}
+
 /// Propagation scope attached to one offer (the community, in BGP terms).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Scope {
@@ -168,6 +227,45 @@ impl Announcement {
                 scope,
             })
             .collect()
+    }
+
+    /// Check that this announcement belongs to `topo`: the origin exists,
+    /// every offered link exists, touches the origin, and implies a
+    /// relationship. Propagation calls this before seeding so mismatched
+    /// announcements fail closed rather than panicking mid-campaign.
+    pub fn validate(&self, topo: &Topology) -> Result<(), AnnouncementError> {
+        if self.origin.index() >= topo.as_count() {
+            return Err(AnnouncementError::UnknownOrigin {
+                origin: self.origin,
+                as_count: topo.as_count(),
+            });
+        }
+        for &link in self.offers.keys() {
+            if link.index() >= topo.link_count() {
+                return Err(AnnouncementError::UnknownLink {
+                    origin: self.origin,
+                    link,
+                    link_count: topo.link_count(),
+                });
+            }
+            let l = topo.link(link);
+            if l.a != self.origin && l.b != self.origin {
+                return Err(AnnouncementError::ForeignLink {
+                    origin: self.origin,
+                    link,
+                    a: l.a,
+                    b: l.b,
+                });
+            }
+            let neighbor = l.other(self.origin);
+            if topo.relationship(self.origin, neighbor).is_none() {
+                return Err(AnnouncementError::MissingRelationship {
+                    origin: self.origin,
+                    neighbor,
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Number of announced interconnects.

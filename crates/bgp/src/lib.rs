@@ -24,13 +24,18 @@
 //!   third" routes come straight from this ranking.
 
 pub mod announcement;
+pub mod arena;
 pub mod decision;
 pub mod propagation;
 pub mod rib;
 pub mod route;
 
-pub use announcement::{Announcement, Offer, Scope};
+pub use announcement::{Announcement, AnnouncementError, Offer, Scope};
+pub use arena::{EntryHandle, EntryPool, PathArena, PathHandle};
 pub use decision::{better, RouteClass};
-pub use propagation::{compute_routes, RoutingTable};
+pub use propagation::{
+    compute_routes, compute_routes_reference, try_compute_routes, valley_free, PathError,
+    RoutingTable,
+};
 pub use rib::{provider_rib, CandidateRoute, PopRib, ProviderRouteClass};
 pub use route::BestRoute;

@@ -10,19 +10,63 @@
 //! climbs customer→provider edges, crosses at most one peer edge, and then
 //! descends provider→customer edges. `valley_free` checks that property and
 //! the test-suite applies it to every path.
+//!
+//! # Planet-scale storage and the frontier worklist
+//!
+//! Routes live in a flat `Vec<Option<BestRoute>>` of `Copy` records; AS
+//! paths are interned post-fixpoint into a shared-suffix [`PathArena`]
+//! (§DESIGN 5g) and entry links into an [`EntryPool`], so table memory is
+//! O(routed ASes), not O(Σ path lengths). The export rounds between phases
+//! walk only the frontier of ASes that actually hold a route (installation
+//! order is tracked in a worklist) instead of sweeping and cloning all
+//! `0..n` slots. Because `consider` installs by a strict total order, the
+//! fixpoint is independent of candidate arrival order, and the worklist
+//! version is route-for-route identical to the legacy whole-table sweep —
+//! kept as [`compute_routes_reference`] and checked by a differential
+//! proptest.
 
-use crate::announcement::{Announcement, Scope};
+use crate::announcement::{Announcement, AnnouncementError, Scope};
+use crate::arena::{EntryHandle, EntryPool, PathArena, PathHandle};
 use crate::decision::RouteClass;
 use crate::route::BestRoute;
-use bb_topology::{AsId, BusinessRel, Topology};
+use bb_topology::{AsId, BusinessRel, InterconnectId, Topology};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+
+/// Why a path could not be produced for an AS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathError {
+    /// The AS holds no route toward the origin.
+    Unrouted(AsId),
+    /// The via chain runs into a cycle at the named AS. Cannot happen for
+    /// tables produced by `compute_routes` (phases only ever shorten or
+    /// re-class routes along acyclic relationships); it guards corrupted
+    /// or hand-patched tables without panicking a planet-scale campaign.
+    ViaCycle(AsId),
+}
+
+impl std::fmt::Display for PathError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PathError::Unrouted(asn) => write!(f, "{asn} holds no route toward the origin"),
+            PathError::ViaCycle(asn) => write!(f, "via-chain cycle at {asn}"),
+        }
+    }
+}
+
+impl std::error::Error for PathError {}
 
 /// Best route per AS toward one origin announcement.
 #[derive(Debug, Clone)]
 pub struct RoutingTable {
     pub origin: AsId,
     best: Vec<Option<BestRoute>>,
+    paths: PathArena,
+    entries: EntryPool,
+    /// First AS found on a via cycle during finalize, if any.
+    cycle: Option<AsId>,
+    /// Work done reaching the fixpoint: (candidates considered, installed).
+    work: (u64, u64),
 }
 
 impl RoutingTable {
@@ -31,26 +75,39 @@ impl RoutingTable {
         self.best[asn.index()].as_ref()
     }
 
-    /// The AS-level path from `asn` to the origin, inclusive on both ends
-    /// (ignoring prepending repetitions).
-    pub fn as_path(&self, asn: AsId) -> Option<Vec<AsId>> {
-        self.route(asn)?;
-        let mut path = vec![asn];
-        let mut cur = asn;
-        while let Some(route) = self.route(cur) {
-            match route.via {
-                None => return Some(path),
-                Some(next) => {
-                    assert!(
-                        path.len() <= self.best.len(),
-                        "via-chain cycle at {cur}"
-                    );
-                    path.push(next);
-                    cur = next;
-                }
-            }
+    /// Tied-best interconnects into the origin for a first-hop AS (empty
+    /// for everyone else, including unrouted ASes).
+    pub fn entry_links(&self, asn: AsId) -> &[InterconnectId] {
+        match &self.best[asn.index()] {
+            Some(r) => self.entries.get(r.entry),
+            None => &[],
         }
-        None
+    }
+
+    /// The AS-level path from `asn` to the origin, inclusive on both ends
+    /// (ignoring prepending repetitions). `None` if `asn` is unrouted or
+    /// its via chain is poisoned by a cycle (see [`Self::as_path_checked`]).
+    pub fn as_path(&self, asn: AsId) -> Option<Vec<AsId>> {
+        self.as_path_checked(asn).ok()
+    }
+
+    /// Like [`Self::as_path`], but distinguishes "unrouted" from "the via
+    /// chain cycles", naming the AS where the cycle was detected.
+    pub fn as_path_checked(&self, asn: AsId) -> Result<Vec<AsId>, PathError> {
+        let route = self
+            .route(asn)
+            .ok_or(PathError::Unrouted(asn))?;
+        if route.path.is_cycle() {
+            return Err(PathError::ViaCycle(self.cycle.unwrap_or(asn)));
+        }
+        self.paths
+            .materialize(route.path)
+            .ok_or(PathError::Unrouted(asn))
+    }
+
+    /// The AS at which a via cycle was detected, if the table is poisoned.
+    pub fn via_cycle(&self) -> Option<AsId> {
+        self.cycle
     }
 
     /// Number of ASes holding a route.
@@ -65,9 +122,281 @@ impl RoutingTable {
             .enumerate()
             .filter_map(|(i, r)| r.as_ref().map(|r| (AsId(i as u32), r)))
     }
+
+    /// Bytes spent on interned path storage (the shared-suffix arena).
+    pub fn interned_path_bytes(&self) -> usize {
+        self.paths.bytes()
+    }
+
+    /// Bytes spent on the pooled entry-link spans (reported separately:
+    /// the naive layout stored these as per-route `Vec`s too, but the
+    /// RIB-memory ceiling is defined over path storage).
+    pub fn entry_pool_bytes(&self) -> usize {
+        self.entries.bytes()
+    }
+
+    /// Bytes the same paths would cost as one owned `Vec<AsId>` per routed
+    /// AS (24-byte vec header + 4 bytes per hop) — the pre-interning
+    /// layout, used for the `rib:*` memory counters.
+    pub fn naive_path_bytes(&self) -> usize {
+        self.best
+            .iter()
+            .filter_map(|r| r.as_ref())
+            .map(|r| 24 + 4 * self.paths.path_len(r.path))
+            .sum()
+    }
+
+    /// (candidates considered, candidates installed) while reaching the
+    /// fixpoint — the propagation work counters surfaced in perf reports.
+    pub fn work(&self) -> (u64, u64) {
+        self.work
+    }
+}
+
+/// Per-relationship CSR adjacency, built once per `compute_routes` call so
+/// the hot relaxation loops index flat arrays instead of allocating a
+/// filtered `Vec` per visited AS (`Topology::providers_of` et al.).
+struct RelCsr {
+    providers: Csr,
+    peers: Csr,
+    customers: Csr,
+}
+
+struct Csr {
+    off: Vec<u32>,
+    dat: Vec<u32>,
+}
+
+impl Csr {
+    fn row(&self, asn: AsId) -> &[u32] {
+        &self.dat[self.off[asn.index()] as usize..self.off[asn.index() + 1] as usize]
+    }
+}
+
+impl RelCsr {
+    fn build(topo: &Topology) -> RelCsr {
+        let n = topo.as_count();
+        // Count per (asn, kind), then prefix-sum and fill. Parallel links
+        // between the same pair repeat the neighbor; that is harmless for
+        // the fixpoint (duplicate candidates never win the strict order)
+        // so rows are not deduplicated.
+        let mut cnt = vec![[0u32; 3]; n];
+        for i in 0..n {
+            let asn = AsId(i as u32);
+            for &(nb, _) in topo.adjacency(asn) {
+                match topo.relationship(asn, nb) {
+                    Some(BusinessRel::CustomerOf) => cnt[i][0] += 1,
+                    Some(BusinessRel::Peer) => cnt[i][1] += 1,
+                    Some(BusinessRel::ProviderOf) => cnt[i][2] += 1,
+                    None => {}
+                }
+            }
+        }
+        let csr = |k: usize| {
+            let mut off = Vec::with_capacity(n + 1);
+            let mut total = 0u32;
+            off.push(0);
+            for row in cnt.iter() {
+                total += row[k];
+                off.push(total);
+            }
+            Csr {
+                dat: vec![0; total as usize],
+                off,
+            }
+        };
+        let (mut providers, mut peers, mut customers) = (csr(0), csr(1), csr(2));
+        let mut cursor = vec![[0u32; 3]; n];
+        for i in 0..n {
+            let asn = AsId(i as u32);
+            for &(nb, _) in topo.adjacency(asn) {
+                let (csr, k) = match topo.relationship(asn, nb) {
+                    Some(BusinessRel::CustomerOf) => (&mut providers, 0),
+                    Some(BusinessRel::Peer) => (&mut peers, 1),
+                    Some(BusinessRel::ProviderOf) => (&mut customers, 2),
+                    None => continue,
+                };
+                csr.dat[(csr.off[i] + cursor[i][k]) as usize] = nb.0;
+                cursor[i][k] += 1;
+            }
+        }
+        RelCsr {
+            providers,
+            peers,
+            customers,
+        }
+    }
+}
+
+/// Fixpoint state: flat route slots plus the worklist of routed ASes in
+/// installation order (the frontier the export rounds walk).
+struct Builder {
+    origin: AsId,
+    best: Vec<Option<BestRoute>>,
+    routed: Vec<AsId>,
+    entries: EntryPool,
+    considered: u64,
+    installed: u64,
+}
+
+impl Builder {
+    fn new(n: usize, origin: AsId) -> Builder {
+        let mut b = Builder {
+            origin,
+            best: vec![None; n],
+            routed: Vec::new(),
+            entries: EntryPool::default(),
+            considered: 0,
+            installed: 0,
+        };
+        b.best[origin.index()] = Some(BestRoute::origin());
+        b.routed.push(origin);
+        b
+    }
+
+    /// Install `cand` at `asn` if it beats the incumbent under the decision
+    /// process (with the per-AS hashed tie-break). Returns whether it was
+    /// installed. The order is strict and total over distinct candidates,
+    /// so the fixpoint does not depend on arrival order.
+    fn consider(&mut self, asn: AsId, cand: BestRoute) -> bool {
+        self.considered += 1;
+        match &self.best[asn.index()] {
+            None => {
+                self.best[asn.index()] = Some(cand);
+                self.routed.push(asn);
+                self.installed += 1;
+                true
+            }
+            Some(inc) => {
+                let inc_key = (inc.class, inc.path_len, inc.via.unwrap_or(AsId(u32::MAX)));
+                let cand_key = (cand.class, cand.path_len, cand.via.unwrap_or(AsId(u32::MAX)));
+                if crate::decision::better_at(asn, cand_key, inc_key) {
+                    self.best[asn.index()] = Some(cand);
+                    self.installed += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Dijkstra-style relaxation of one phase: starting from `seeds`,
+    /// routes of `class` spread along the CSR edges.
+    fn relax_phase(&mut self, edges: &Csr, seeds: Vec<(AsId, BestRoute)>, class: RouteClass) {
+        let mut heap: BinaryHeap<Reverse<(u32, u32, u32)>> = BinaryHeap::new();
+        for (asn, route) in seeds {
+            let key = (route.path_len, route.via.map_or(u32::MAX, |v| v.0), asn.0);
+            if self.consider(asn, route) {
+                heap.push(Reverse(key));
+            }
+        }
+        while let Some(Reverse((len, via, asn))) = heap.pop() {
+            let asn = AsId(asn);
+            // Skip stale heap entries, and never expand NO_EXPORT routes.
+            let Some(cur) = self.best[asn.index()] else { continue };
+            if cur.class != class
+                || cur.path_len != len
+                || cur.via.map_or(u32::MAX, |v| v.0) != via
+            {
+                continue;
+            }
+            if cur.no_export {
+                continue;
+            }
+            for i in 0..edges.row(asn).len() {
+                let nxt = AsId(edges.row(asn)[i]);
+                let cand = BestRoute {
+                    class,
+                    path_len: len + 1,
+                    via: Some(asn),
+                    path: PathHandle::NONE,
+                    entry: EntryHandle::NONE,
+                    no_export: false,
+                };
+                let key = (cand.path_len, asn.0, nxt.0);
+                if self.consider(nxt, cand) {
+                    heap.push(Reverse(key));
+                }
+            }
+        }
+    }
+
+    /// Intern every routed AS's via chain into the shared-suffix arena.
+    /// Runs post-fixpoint so the arena reflects final routes only; a via
+    /// cycle (impossible from propagation, possible from corruption)
+    /// poisons the affected chains instead of diverging.
+    fn finalize(mut self) -> RoutingTable {
+        let n = self.best.len();
+        let mut paths = PathArena::with_capacity(self.routed.len());
+        // 0 = unvisited, 1 = on the current walk, 2 = resolved.
+        let mut state = vec![0u8; n];
+        let mut handle = vec![PathHandle::NONE; n];
+        let mut cycle = None;
+        let mut stack: Vec<u32> = Vec::new();
+        for start in 0..n {
+            if self.best[start].is_none() || state[start] == 2 {
+                continue;
+            }
+            let mut cur = start;
+            let mut parent = loop {
+                match state[cur] {
+                    2 => break handle[cur],
+                    1 => {
+                        // The walk bit its own tail: poison the chain.
+                        if cycle.is_none() {
+                            cycle = Some(AsId(cur as u32));
+                        }
+                        break PathHandle::CYCLE;
+                    }
+                    _ => {}
+                }
+                state[cur] = 1;
+                stack.push(cur as u32);
+                match self.best[cur].and_then(|r| r.via) {
+                    None => break PathHandle::NONE,
+                    Some(v) if self.best[v.index()].is_none() => {
+                        // Dangling via — treat like a poisoned chain.
+                        if cycle.is_none() {
+                            cycle = Some(AsId(cur as u32));
+                        }
+                        break PathHandle::CYCLE;
+                    }
+                    Some(v) => cur = v.index(),
+                }
+            };
+            // Unwind deepest-first, attaching each AS to its via's path.
+            while let Some(node) = stack.pop() {
+                let h = if parent.is_cycle() {
+                    PathHandle::CYCLE
+                } else {
+                    paths.intern(AsId(node), parent)
+                };
+                handle[node as usize] = h;
+                state[node as usize] = 2;
+                parent = h;
+            }
+        }
+        for i in 0..n {
+            if let Some(r) = &mut self.best[i] {
+                r.path = handle[i];
+            }
+        }
+        RoutingTable {
+            origin: self.origin,
+            best: self.best,
+            paths,
+            entries: self.entries,
+            cycle,
+            work: (self.considered, self.installed),
+        }
+    }
 }
 
 /// Compute routes for `announcement` over `topo`.
+///
+/// Panics if the announcement does not belong to `topo` (unknown origin,
+/// foreign links); use [`try_compute_routes`] to surface that as an error.
 ///
 /// ```
 /// use bb_bgp::{compute_routes, Announcement};
@@ -83,14 +412,42 @@ impl RoutingTable {
 /// assert_eq!(*table.as_path(some_as).unwrap().last().unwrap(), origin);
 /// ```
 pub fn compute_routes(topo: &Topology, announcement: &Announcement) -> RoutingTable {
+    try_compute_routes(topo, announcement).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`compute_routes`], failing closed when the announcement was built
+/// against a different (or since-mutated) topology instead of panicking —
+/// the caller maps this to a usage error.
+pub fn try_compute_routes(
+    topo: &Topology,
+    announcement: &Announcement,
+) -> Result<RoutingTable, AnnouncementError> {
+    run(topo, announcement, true)
+}
+
+/// The legacy three-phase implementation whose export rounds sweep all
+/// `0..n` route slots. Kept as the oracle for the differential proptest
+/// that pins the frontier worklist to be route-for-route identical.
+pub fn compute_routes_reference(topo: &Topology, announcement: &Announcement) -> RoutingTable {
+    run(topo, announcement, false).unwrap_or_else(|e| panic!("{e}"))
+}
+
+fn run(
+    topo: &Topology,
+    announcement: &Announcement,
+    frontier: bool,
+) -> Result<RoutingTable, AnnouncementError> {
+    announcement.validate(topo)?;
     let n = topo.as_count();
     let origin = announcement.origin;
-    let mut best: Vec<Option<BestRoute>> = vec![None; n];
-    best[origin.index()] = Some(BestRoute::origin());
+    let csr = RelCsr::build(topo);
+    let mut b = Builder::new(n, origin);
 
     // --- Seed first hops from the announcement. ---
     // The class at a first-hop neighbor is determined by how it relates to
     // the origin: the origin's providers hear a customer route, etc.
+    // `validate` above guarantees every offered link exists, touches the
+    // origin, and implies a relationship.
     let mut customer_seeds = Vec::new();
     let mut peer_seeds = Vec::new();
     let mut provider_seeds = Vec::new();
@@ -98,13 +455,14 @@ pub fn compute_routes(topo: &Topology, announcement: &Announcement) -> RoutingTa
         let nb = offer.neighbor;
         let rel_origin_to_nb = topo
             .relationship(origin, nb)
-            .expect("offered link implies relationship");
+            .expect("validated announcement implies relationship");
         let class = RouteClass::from_neighbor_rel(rel_origin_to_nb);
         let route = BestRoute {
             class,
             path_len: 1 + offer.prepend,
             via: Some(origin),
-            entry_links: offer.entry_links,
+            path: PathHandle::NONE,
+            entry: b.entries.intern(&offer.entry_links),
             no_export: offer.scope == Scope::NoExport,
         };
         match class {
@@ -115,142 +473,85 @@ pub fn compute_routes(topo: &Topology, announcement: &Announcement) -> RoutingTa
     }
 
     // --- Phase 1: customer routes climb provider edges. ---
-    relax_phase(
-        topo,
-        &mut best,
-        customer_seeds,
-        RouteClass::Customer,
-        |topo, asn| topo.providers_of(asn),
-    );
+    b.relax_phase(&csr.providers, customer_seeds, RouteClass::Customer);
 
     // --- Phase 2: customer routes cross one peer edge. ---
     // Candidates: every AS holding a customer route (incl. the origin via
     // the announcement seeds above, which already carry entry links)
     // exports to its peers. Peer routes do not propagate further among
     // peers, so this is a single relaxation round, not a search.
+    let phase1_frontier = b.routed.len();
     let mut peer_candidates: Vec<(AsId, BestRoute)> = peer_seeds;
-    #[allow(clippy::needless_range_loop)]
-    for i in 0..n {
-        let asn = AsId(i as u32);
-        let Some(route) = best[i].clone() else { continue };
-        if route.class != RouteClass::Customer || route.is_origin() || route.no_export {
-            continue; // origin's exports are governed by the announcement;
-                      // NO_EXPORT routes stop here
+    let export_across = |b: &Builder,
+                             edges: &Csr,
+                             class: RouteClass,
+                             customer_only: bool,
+                             frontier_len: usize,
+                             out: &mut Vec<(AsId, BestRoute)>| {
+        let mut push = |asn: AsId, route: &BestRoute| {
+            if route.is_origin() || route.no_export {
+                return; // origin's exports are governed by the announcement;
+                        // NO_EXPORT routes stop here
+            }
+            if customer_only && route.class != RouteClass::Customer {
+                return;
+            }
+            for &nxt in edges.row(asn) {
+                out.push((
+                    AsId(nxt),
+                    BestRoute {
+                        class,
+                        path_len: route.path_len + 1,
+                        via: Some(asn),
+                        path: PathHandle::NONE,
+                        entry: EntryHandle::NONE,
+                        no_export: false,
+                    },
+                ));
+            }
+        };
+        if frontier {
+            // Walk only ASes that actually hold a route.
+            for i in 0..frontier_len {
+                let asn = b.routed[i];
+                push(asn, b.best[asn.index()].as_ref().unwrap());
+            }
+        } else {
+            // Legacy: sweep every slot in ascending AS order.
+            for i in 0..b.best.len() {
+                if let Some(route) = &b.best[i] {
+                    push(AsId(i as u32), route);
+                }
+            }
         }
-        for peer in topo.peers_of(asn) {
-            peer_candidates.push((
-                peer,
-                BestRoute {
-                    class: RouteClass::Peer,
-                    path_len: route.path_len + 1,
-                    via: Some(asn),
-                    entry_links: Vec::new(),
-                    no_export: false,
-                },
-            ));
-        }
-    }
+    };
+    export_across(
+        &b,
+        &csr.peers,
+        RouteClass::Peer,
+        true,
+        phase1_frontier,
+        &mut peer_candidates,
+    );
     for (asn, cand) in peer_candidates {
-        consider(&mut best, asn, cand);
+        b.consider(asn, cand);
     }
 
     // --- Phase 3: everything descends customer edges. ---
     // Every routed AS exports to its customers; provider routes cascade.
+    let phase2_frontier = b.routed.len();
     let mut provider_cands: Vec<(AsId, BestRoute)> = provider_seeds;
-    #[allow(clippy::needless_range_loop)]
-    for i in 0..n {
-        let asn = AsId(i as u32);
-        let Some(route) = best[i].clone() else { continue };
-        if route.is_origin() || route.no_export {
-            continue;
-        }
-        for cust in topo.customers_of(asn) {
-            provider_cands.push((
-                cust,
-                BestRoute {
-                    class: RouteClass::Provider,
-                    path_len: route.path_len + 1,
-                    via: Some(asn),
-                    entry_links: Vec::new(),
-                    no_export: false,
-                },
-            ));
-        }
-    }
-    relax_phase(
-        topo,
-        &mut best,
-        provider_cands,
+    export_across(
+        &b,
+        &csr.customers,
         RouteClass::Provider,
-        |topo, asn| topo.customers_of(asn),
+        false,
+        phase2_frontier,
+        &mut provider_cands,
     );
+    b.relax_phase(&csr.customers, provider_cands, RouteClass::Provider);
 
-    RoutingTable { origin, best }
-}
-
-/// Install `cand` at `asn` if it beats the incumbent under the decision
-/// process (with the per-AS hashed tie-break). Returns whether it was
-/// installed.
-fn consider(best: &mut [Option<BestRoute>], asn: AsId, cand: BestRoute) -> bool {
-    match &best[asn.index()] {
-        None => {
-            best[asn.index()] = Some(cand);
-            true
-        }
-        Some(inc) => {
-            let inc_key = (inc.class, inc.path_len, inc.via.unwrap_or(AsId(u32::MAX)));
-            let cand_key = (cand.class, cand.path_len, cand.via.unwrap_or(AsId(u32::MAX)));
-            if crate::decision::better_at(asn, cand_key, inc_key) {
-                best[asn.index()] = Some(cand);
-                true
-            } else {
-                false
-            }
-        }
-    }
-}
-
-/// Dijkstra-style relaxation of one phase: starting from `seeds`, routes of
-/// `class` spread along the edges produced by `next_hops` (applied to the
-/// AS currently holding the route).
-fn relax_phase(
-    topo: &Topology,
-    best: &mut [Option<BestRoute>],
-    seeds: Vec<(AsId, BestRoute)>,
-    class: RouteClass,
-    next_hops: impl Fn(&Topology, AsId) -> Vec<AsId>,
-) {
-    let mut heap: BinaryHeap<Reverse<(u32, u32, u32)>> = BinaryHeap::new();
-    for (asn, route) in seeds {
-        let key = (route.path_len, route.via.map_or(u32::MAX, |v| v.0), asn.0);
-        if consider(best, asn, route) {
-            heap.push(Reverse(key));
-        }
-    }
-    while let Some(Reverse((len, via, asn))) = heap.pop() {
-        let asn = AsId(asn);
-        // Skip stale heap entries, and never expand NO_EXPORT routes.
-        let Some(cur) = &best[asn.index()] else { continue };
-        if cur.class != class || cur.path_len != len || cur.via.map_or(u32::MAX, |v| v.0) != via {
-            continue;
-        }
-        if cur.no_export {
-            continue;
-        }
-        for nxt in next_hops(topo, asn) {
-            let cand = BestRoute {
-                class,
-                path_len: len + 1,
-                via: Some(asn),
-                entry_links: Vec::new(),
-                no_export: false,
-            };
-            let key = (cand.path_len, asn.0, nxt.0);
-            if consider(best, nxt, cand) {
-                heap.push(Reverse(key));
-            }
-        }
-    }
+    Ok(b.finalize())
 }
 
 /// Check the valley-free property of a traffic path `p = [src, ..., origin]`:
@@ -359,7 +660,10 @@ mod tests {
         for nb in t.neighbors(o) {
             let r = table.route(nb).unwrap();
             assert_eq!(r.via, Some(o));
-            assert!(!r.entry_links.is_empty(), "{nb} should record entry links");
+            assert!(
+                !table.entry_links(nb).is_empty(),
+                "{nb} should record entry links"
+            );
         }
     }
 
@@ -451,6 +755,100 @@ mod tests {
     }
 
     #[test]
+    fn frontier_matches_reference_sweep() {
+        let t = topo();
+        for origin in t.ases_of_class(AsClass::Eyeball).take(5) {
+            let ann = Announcement::full(&t, origin.id);
+            let fast = compute_routes(&t, &ann);
+            let slow = compute_routes_reference(&t, &ann);
+            for node in t.ases() {
+                assert_eq!(fast.route(node.id), slow.route(node.id));
+                assert_eq!(fast.as_path(node.id), slow.as_path(node.id));
+                assert_eq!(fast.entry_links(node.id), slow.entry_links(node.id));
+            }
+        }
+    }
+
+    #[test]
+    fn interned_storage_beats_naive_vectors() {
+        let t = topo();
+        let o = eyeball(&t);
+        let table = compute_routes(&t, &Announcement::full(&t, o));
+        let (considered, installed) = table.work();
+        assert!(considered >= installed);
+        assert!(installed as usize >= table.reachable_count());
+        assert!(
+            table.interned_path_bytes() * 4 <= table.naive_path_bytes(),
+            "arena ({}) must be ≤ 25% of naive vec storage ({})",
+            table.interned_path_bytes(),
+            table.naive_path_bytes()
+        );
+    }
+
+    #[test]
+    fn via_cycle_reports_instead_of_panicking() {
+        // Corrupt a finished table into a 2-cycle and re-finalize: as_path
+        // must degrade to a structured error naming a cycle member, not
+        // panic (the release-mode failure the old bare assert! allowed).
+        let t = topo();
+        let o = eyeball(&t);
+        let table = compute_routes(&t, &Announcement::full(&t, o));
+        let (a, b) = {
+            let mut it = t.ases().iter().map(|a| a.id).filter(|&x| x != o);
+            (it.next().unwrap(), it.next().unwrap())
+        };
+        let mut builder = Builder::new(t.as_count(), o);
+        for (asn, r) in table.routes() {
+            builder.best[asn.index()] = Some(*r);
+            if asn != o {
+                builder.routed.push(asn);
+            }
+        }
+        builder.best[a.index()].as_mut().unwrap().via = Some(b);
+        builder.best[b.index()].as_mut().unwrap().via = Some(a);
+        let poisoned = builder.finalize();
+        let err = poisoned.as_path_checked(a).unwrap_err();
+        assert!(matches!(err, PathError::ViaCycle(at) if at == a || at == b));
+        assert_eq!(poisoned.as_path(a), None);
+        assert_eq!(poisoned.as_path(b), None);
+        assert!(poisoned.via_cycle().is_some());
+        // Chains not touching the cycle still materialize.
+        assert_eq!(poisoned.as_path(o).unwrap(), vec![o]);
+    }
+
+    #[test]
+    fn mismatched_announcement_fails_closed() {
+        use bb_topology::InterconnectId;
+        let t = topo();
+        // An announcement built against a different (bigger) topology must
+        // surface structured errors, not panic deep in seeding.
+        let ghost = AsId(t.as_count() as u32);
+        let err = try_compute_routes(&t, &Announcement::empty(ghost)).unwrap_err();
+        assert!(matches!(err, AnnouncementError::UnknownOrigin { origin, .. } if origin == ghost));
+
+        let o = topo().ases()[0].id;
+        let mut ann = Announcement::empty(o);
+        ann.offer(InterconnectId(t.link_count() as u32), 0);
+        let err = try_compute_routes(&t, &ann).unwrap_err();
+        assert!(matches!(err, AnnouncementError::UnknownLink { .. }), "{err}");
+
+        // A link that exists but does not touch the origin: find one.
+        let foreign = (0..t.link_count() as u32)
+            .map(InterconnectId)
+            .find(|&l| {
+                let link = t.link(l);
+                link.a != o && link.b != o
+            })
+            .expect("some link avoids AS 0");
+        let mut ann = Announcement::empty(o);
+        ann.offer(foreign, 0);
+        let err = try_compute_routes(&t, &ann).unwrap_err();
+        assert!(matches!(err, AnnouncementError::ForeignLink { .. }), "{err}");
+        // Errors render with enough context to act on.
+        assert!(err.to_string().contains("announce"), "{err}");
+    }
+
+    #[test]
     fn valley_free_rejects_bad_paths() {
         let t = topo();
         // A fabricated path that goes down then up must be rejected if the
@@ -460,6 +858,39 @@ mod tests {
         // down (prov -> o is ProviderOf) then up (o -> prov is CustomerOf):
         let path = vec![prov, o, prov];
         assert!(!valley_free(&t, &path));
+    }
+
+    #[test]
+    fn snapshot_backed_world_propagates_valley_free() {
+        // The CAIDA ingestion backend feeds the same propagation pipeline:
+        // a full announcement from a snapshot eyeball reaches the whole
+        // hierarchy with valley-free paths, and the frontier worklist stays
+        // byte-identical to the reference sweep.
+        let snapshot = "\
+1|2|-1\n1|3|-1\n2|3|0\n2|4|-1\n3|5|-1\n4|5|0\n3|6|-1\n4|6|0\n";
+        let cfg = bb_topology::SnapshotConfig {
+            seed: 9,
+            atlas: bb_geo::atlas::AtlasConfig {
+                seed: 9,
+                city_density: 0.3,
+            },
+            max_ases: None,
+        };
+        let t = bb_topology::build_from_snapshot(snapshot, &cfg).unwrap();
+        let origin = t
+            .ases_of_class(AsClass::Eyeball)
+            .next()
+            .expect("snapshot has eyeballs")
+            .id;
+        let ann = Announcement::full(&t, origin);
+        let table = compute_routes(&t, &ann);
+        let reference = compute_routes_reference(&t, &ann);
+        assert_eq!(table.reachable_count(), t.as_count());
+        for node in t.ases() {
+            let path = table.as_path(node.id).expect("reachable");
+            assert!(valley_free(&t, &path), "path {path:?} has a valley");
+            assert_eq!(reference.as_path(node.id).as_deref(), Some(&path[..]));
+        }
     }
 }
 

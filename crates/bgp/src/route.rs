@@ -1,11 +1,18 @@
 //! Route records stored per AS by propagation.
 
+use crate::arena::{EntryHandle, PathHandle};
 use crate::decision::RouteClass;
-use bb_topology::{AsId, InterconnectId};
+use bb_topology::AsId;
 use serde::{Deserialize, Serialize};
 
 /// The best route an AS holds toward the origin of one routing computation.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// `Copy`, 24 bytes: the AS path and the entry-link set live in the owning
+/// `RoutingTable`'s arena/pool and are referenced by 4-byte handles, so a
+/// planet-scale table is one flat `Vec` plus two shared side arrays instead
+/// of ~10⁵ owned vectors. Resolve the handles through the table
+/// (`RoutingTable::as_path`, `RoutingTable::entry_links`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct BestRoute {
     /// How this AS learned the route (drives local-pref and export rules).
     pub class: RouteClass,
@@ -13,11 +20,14 @@ pub struct BestRoute {
     pub path_len: u32,
     /// Next hop toward the origin; `None` at the origin itself.
     pub via: Option<AsId>,
+    /// Interned AS path back to the origin, filled in when the routing
+    /// table is finalized. `PathHandle::CYCLE` marks a poisoned via chain.
+    pub path: PathHandle,
     /// For ASes adjacent to the origin: the interconnects into the origin
     /// that are tied-best under BGP (same effective path length). The
     /// realization layer picks one by exit policy; this is where anycast
-    /// catchment geography comes from.
-    pub entry_links: Vec<InterconnectId>,
+    /// catchment geography comes from. `EntryHandle::NONE` elsewhere.
+    pub entry: EntryHandle,
     /// The route carries NO_EXPORT: its holder must not re-advertise it.
     pub no_export: bool,
 }
@@ -29,7 +39,8 @@ impl BestRoute {
             class: RouteClass::Customer,
             path_len: 0,
             via: None,
-            entry_links: Vec::new(),
+            path: PathHandle::NONE,
+            entry: EntryHandle::NONE,
             no_export: false,
         }
     }
@@ -49,7 +60,7 @@ mod tests {
         let r = BestRoute::origin();
         assert!(r.is_origin());
         assert_eq!(r.path_len, 0);
-        assert!(r.entry_links.is_empty());
+        assert!(r.entry.is_none());
     }
 
     #[test]
@@ -58,9 +69,17 @@ mod tests {
             class: RouteClass::Peer,
             path_len: 2,
             via: Some(AsId(5)),
-            entry_links: vec![],
+            path: PathHandle::NONE,
+            entry: EntryHandle::NONE,
             no_export: false,
         };
         assert!(!r.is_origin());
+    }
+
+    #[test]
+    fn best_route_is_small() {
+        // The whole point of interning: a route record is flat and small.
+        assert!(std::mem::size_of::<BestRoute>() <= 24);
+        assert!(std::mem::size_of::<Option<BestRoute>>() <= 28);
     }
 }

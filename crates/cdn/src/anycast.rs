@@ -162,7 +162,8 @@ pub fn route_into_provider(
     debug_assert_eq!(*chain.last().unwrap(), provider);
     // entry_links live on the provider's direct neighbor in the chain.
     let neighbor = chain[chain.len() - 2];
-    let entry_links = &table.route(neighbor)?.entry_links;
+    table.route(neighbor)?;
+    let entry_links = table.entry_links(neighbor);
     debug_assert!(!entry_links.is_empty(), "first-hop AS must carry entry links");
 
     let spec = RealizeSpec {

@@ -35,6 +35,13 @@ pub enum BbError {
         /// Why the manifest was rejected.
         reason: String,
     },
+    /// The caller asked for something the inputs cannot satisfy — an
+    /// unreadable/malformed topology snapshot, an announcement built
+    /// against a different world. Maps to exit code 2 in `repro`.
+    Usage {
+        /// What was wrong with the request.
+        message: String,
+    },
 }
 
 impl BbError {
@@ -59,6 +66,12 @@ impl BbError {
             reason: reason.into(),
         }
     }
+
+    pub fn usage(message: impl Into<String>) -> Self {
+        BbError::Usage {
+            message: message.into(),
+        }
+    }
 }
 
 impl std::fmt::Display for BbError {
@@ -70,6 +83,7 @@ impl std::fmt::Display for BbError {
                 "insufficient data for {what}: {kept} usable inputs, need at least {needed}"
             ),
             BbError::Checkpoint { reason } => write!(f, "checkpoint rejected: {reason}"),
+            BbError::Usage { message } => write!(f, "invalid usage: {message}"),
         }
     }
 }

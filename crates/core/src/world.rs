@@ -1,8 +1,9 @@
 //! Scenario assembly: one struct holding everything a study needs.
 
+use crate::error::{BbError, BbResult};
 use bb_cdn::{build_provider, Provider, ProviderConfig};
 use bb_netsim::{CongestionConfig, CongestionModel, FaultConfig, FaultPlane};
-use bb_topology::{generate, Topology, TopologyConfig};
+use bb_topology::{generate, SnapshotConfig, Topology, TopologyConfig};
 use bb_workload::{generate_workload, Workload, WorkloadConfig};
 use serde::Serialize;
 
@@ -17,6 +18,11 @@ pub enum Scale {
     /// users who want statistics closer to provider scale. Experiments run
     /// in tens of seconds instead of seconds.
     Large,
+    /// Internet-sized world (≥50k ASes). Route propagation at this scale
+    /// rides the interned-path arena and the frontier worklist; it is meant
+    /// for `repro propagate` and targeted studies, not the full figure
+    /// pipeline.
+    Planet,
 }
 
 /// Everything needed to build a [`Scenario`].
@@ -35,10 +41,16 @@ pub struct ScenarioConfig {
     /// Measurement fault plane (`--faults light|heavy`). `None` runs the
     /// fault-free pipelines, byte-identical to the pre-fault baseline.
     pub faults: Option<FaultConfig>,
+    /// Path to a CAIDA-style AS-relationship snapshot. When set, the
+    /// topology is ingested from the snapshot (via the same construction
+    /// path) instead of generated; `topology.seed` and `topology.atlas`
+    /// still drive the synthetic geography.
+    pub snapshot: Option<String>,
 }
 
 impl ScenarioConfig {
-    fn topology_for(scale: Scale, seed: u64) -> TopologyConfig {
+    /// The topology preset behind each `--scale` tier.
+    pub fn topology_for(scale: Scale, seed: u64) -> TopologyConfig {
         match scale {
             Scale::Test => TopologyConfig::small(seed),
             Scale::Full => TopologyConfig {
@@ -58,6 +70,21 @@ impl ScenarioConfig {
                 max_eyeballs_per_country: 20,
                 ..Default::default()
             },
+            // ~4.3B modeled users / 0.075M per AS, capped per country:
+            // ≥50k eyeballs plus a dense transit layer.
+            Scale::Planet => TopologyConfig {
+                seed,
+                atlas: bb_geo::atlas::AtlasConfig {
+                    seed: seed ^ 0x_91a7,
+                    city_density: 2.0,
+                },
+                n_tier1: 16,
+                transits_per_region: 24,
+                global_transits: 12,
+                eyeball_users_per_as_m: 0.075,
+                max_eyeballs_per_country: 20_000,
+                ..Default::default()
+            },
         }
     }
 
@@ -74,29 +101,65 @@ impl ScenarioConfig {
             congestion: CongestionConfig::default(),
             exit_fidelity_factor: 1.0,
             faults: None,
+            snapshot: None,
         }
     }
 
     /// Fingerprint of every input that shapes the *world* — topology,
-    /// provider, workload, and the exit-fidelity knob — but not the
-    /// congestion or fault planes, which never influence target/route
-    /// computation. Keys the process-wide spray-target memo
+    /// provider, workload, the exit-fidelity knob, and the snapshot path —
+    /// but not the congestion or fault planes, which never influence
+    /// target/route computation. Keys the process-wide spray-target memo
     /// ([`bb_measure::SprayConfig::targets_memo`]): two configs with equal
     /// keys build identical topologies, providers, and workloads, so their
     /// spray targets are interchangeable.
+    ///
+    /// Every field is folded explicitly (floats via their IEEE-754 bits)
+    /// rather than through `Debug` formatting: `{:?}` renderings are not a
+    /// stable serialization — they change with field order, float
+    /// formatting, and derive output across compiler versions, and two
+    /// different values can print identically.
     pub fn world_key(&self) -> u64 {
-        let blob = format!(
-            "{};{:?};{:?};{:?};{}",
-            self.seed, self.topology, self.provider, self.workload, self.exit_fidelity_factor,
-        );
-        // FNV-1a: stable, dependency-free, and collision-safe enough for a
-        // handful of scenario configs per process.
-        let mut h: u64 = 0x_cbf2_9ce4_8422_2325;
-        for b in blob.as_bytes() {
-            h ^= *b as u64;
-            h = h.wrapping_mul(0x_0000_0100_0000_01b3);
+        let mut h = Fnv::new();
+        h.word(self.seed);
+        // TopologyConfig.
+        let t = &self.topology;
+        h.word(t.seed);
+        h.word(t.atlas.seed);
+        h.f64(t.atlas.city_density);
+        h.word(t.n_tier1 as u64);
+        h.word(t.transits_per_region as u64);
+        h.word(t.global_transits as u64);
+        h.f64(t.eyeball_users_per_as_m);
+        h.word(t.max_eyeballs_per_country as u64);
+        h.word(t.tier1_exit as u64);
+        // ProviderConfig.
+        let p = &self.provider;
+        h.word(p.seed);
+        h.bytes(p.name.as_bytes());
+        h.f64(p.pop_country_min_users_m);
+        h.word(p.max_pops as u64);
+        h.f64(p.pni_min_share);
+        h.f64(p.public_peer_min_share);
+        h.word(p.transit_tier1s as u64);
+        h.f64(p.pni_capacity_factor);
+        h.f64(p.remote_peering_prob);
+        // WorkloadConfig.
+        let w = &self.workload;
+        h.word(w.seed);
+        h.f64(w.activity_sigma);
+        h.f64(w.public_resolver_fraction);
+        h.f64(w.isp_ecs_fraction);
+        h.f64(w.access_mbps.0);
+        h.f64(w.access_mbps.1);
+        h.f64(self.exit_fidelity_factor);
+        match &self.snapshot {
+            None => h.word(0),
+            Some(path) => {
+                h.word(1);
+                h.bytes(path.as_bytes());
+            }
         }
-        h
+        h.finish()
     }
 
     /// The §2.3.2 world: Microsoft-like anycast CDN.
@@ -117,6 +180,35 @@ impl ScenarioConfig {
     }
 }
 
+/// FNV-1a folding helper: stable, dependency-free, and collision-safe
+/// enough for a handful of scenario configs per process.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0x_cbf2_9ce4_8422_2325)
+    }
+
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x_0000_0100_0000_01b3);
+        }
+    }
+
+    fn word(&mut self, w: u64) {
+        self.bytes(&w.to_le_bytes());
+    }
+
+    fn f64(&mut self, x: f64) {
+        self.word(x.to_bits());
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
 /// A built world: topology with provider attached, workload, congestion.
 pub struct Scenario {
     pub config: ScenarioConfig,
@@ -129,9 +221,29 @@ pub struct Scenario {
 }
 
 impl Scenario {
-    /// Build the world from a config.
+    /// Build the world from a config, panicking on bad inputs. Prefer
+    /// [`Scenario::try_build`] where an unreadable snapshot should surface
+    /// as a usage error instead of a crash.
     pub fn build(config: ScenarioConfig) -> Scenario {
-        let mut topo = generate(&config.topology);
+        Self::try_build(config).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Build the world from a config. Snapshot ingestion failures (missing
+    /// file, malformed lines, unanchorable hierarchy) come back as
+    /// [`BbError::Usage`].
+    pub fn try_build(config: ScenarioConfig) -> BbResult<Scenario> {
+        let mut topo = match &config.snapshot {
+            Some(path) => {
+                let snap_cfg = SnapshotConfig {
+                    seed: config.topology.seed,
+                    atlas: config.topology.atlas.clone(),
+                    max_ases: None,
+                };
+                bb_topology::load_snapshot_file(std::path::Path::new(path), &snap_cfg)
+                    .map_err(|e| BbError::usage(format!("snapshot {path}: {e}")))?
+            }
+            None => generate(&config.topology),
+        };
         if config.exit_fidelity_factor < 1.0 {
             let ids: Vec<_> = topo.ases().iter().map(|a| (a.id, a.exit_fidelity)).collect();
             for (id, f) in ids {
@@ -145,14 +257,14 @@ impl Scenario {
             .faults
             .as_ref()
             .map(|f| FaultPlane::new(config.seed ^ 0x_0bad, f.clone()));
-        Scenario {
+        Ok(Scenario {
             config,
             topo,
             provider,
             workload,
             congestion,
             faults,
-        }
+        })
     }
 
     /// The fault plane to hand to the measurement pipelines.
@@ -187,5 +299,82 @@ mod tests {
         assert_eq!(a.topo.as_count(), b.topo.as_count());
         assert_eq!(a.workload.prefixes.len(), b.workload.prefixes.len());
         assert_eq!(a.provider.pops, b.provider.pops);
+    }
+
+    #[test]
+    fn world_key_stable_and_distinct_across_presets() {
+        // Stability: equal configs hash equally, rebuilt from scratch.
+        assert_eq!(
+            ScenarioConfig::facebook(7, Scale::Test).world_key(),
+            ScenarioConfig::facebook(7, Scale::Test).world_key()
+        );
+        // Inequality across all three provider presets and across the
+        // other world-shaping inputs.
+        let fb = ScenarioConfig::facebook(7, Scale::Test).world_key();
+        let ms = ScenarioConfig::microsoft(7, Scale::Test).world_key();
+        let gg = ScenarioConfig::google(7, Scale::Test).world_key();
+        assert_ne!(fb, ms);
+        assert_ne!(fb, gg);
+        assert_ne!(ms, gg);
+        assert_ne!(fb, ScenarioConfig::facebook(8, Scale::Test).world_key());
+        assert_ne!(fb, ScenarioConfig::facebook(7, Scale::Full).world_key());
+        let mut snap = ScenarioConfig::facebook(7, Scale::Test);
+        snap.snapshot = Some("as-rel.txt".into());
+        assert_ne!(fb, snap.world_key());
+    }
+
+    #[test]
+    fn world_key_sees_float_bit_changes() {
+        // The old Debug-string fingerprint collapsed values whose `{:?}`
+        // renderings coincide; the explicit folding must see any bit-level
+        // field change.
+        let base = ScenarioConfig::facebook(7, Scale::Test);
+        let mut tweaked = base.clone();
+        tweaked.exit_fidelity_factor = f64::from_bits(base.exit_fidelity_factor.to_bits() + 1);
+        assert_ne!(base.world_key(), tweaked.world_key());
+    }
+
+    #[test]
+    fn congestion_and_faults_do_not_shape_world_key() {
+        let base = ScenarioConfig::facebook(7, Scale::Test);
+        let mut faulted = base.clone();
+        faulted.faults = Some(bb_netsim::FaultConfig::light());
+        assert_eq!(base.world_key(), faulted.world_key());
+    }
+
+    #[test]
+    fn planet_topology_config_is_internet_sized() {
+        let t = ScenarioConfig::topology_for(Scale::Planet, 1);
+        // ≥50k eyeballs before capping: world users / users-per-AS.
+        assert!(t.eyeball_users_per_as_m <= 0.1);
+        assert!(t.max_eyeballs_per_country >= 10_000);
+        assert!(t.n_tier1 >= 14);
+    }
+
+    #[test]
+    fn snapshot_build_routes_like_generated_worlds() {
+        let dir = std::env::temp_dir().join("bb-core-snapshot-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("as-rel.txt");
+        std::fs::write(&path, "1|2|-1\n1|3|-1\n2|3|0\n2|4|-1\n3|5|-1\n4|5|0\n").unwrap();
+        let mut cfg = ScenarioConfig::facebook(3, Scale::Test);
+        cfg.snapshot = Some(path.to_string_lossy().into_owned());
+        let s = Scenario::try_build(cfg).unwrap();
+        assert_eq!(s.topo.as_count(), 5 + 1, "5 snapshot ASes + provider");
+        bb_topology::validate::validate(&s.topo).unwrap();
+        assert!(!s.workload.prefixes.is_empty());
+    }
+
+    #[test]
+    fn missing_snapshot_is_a_usage_error() {
+        let mut cfg = ScenarioConfig::facebook(3, Scale::Test);
+        cfg.snapshot = Some("/nonexistent/as-rel.txt".into());
+        let err = Scenario::try_build(cfg).err().expect("must fail");
+        match err {
+            BbError::Usage { message } => {
+                assert!(message.contains("/nonexistent/as-rel.txt"), "{message}")
+            }
+            other => panic!("expected usage error, got {other}"),
+        }
     }
 }

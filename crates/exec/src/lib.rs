@@ -10,8 +10,9 @@
 //!    changes which random draws an item sees — only when they happen.
 //!
 //! 2. [`cached_routes`] — a process-wide memo of
-//!    [`bb_bgp::compute_routes`] keyed on `(topology uid, announcement
-//!    content)`. Route propagation dominates every study's runtime, and the
+//!    [`bb_bgp::compute_routes`] keyed on `(topology content fingerprint,
+//!    announcement content)`. Route propagation dominates every study's
+//!    runtime, and the
 //!    same announcement (a full-table unicast origin, an anycast deployment
 //!    under evaluation) is recomputed across spray target building,
 //!    catchment evaluation, tier comparison, and the grooming/site-count/
@@ -21,7 +22,7 @@
 //! [`timing`] collects per-label wall-clock and cache hit/miss counts for
 //! `--timing` reports.
 
-use bb_bgp::{compute_routes, Announcement, Offer, RoutingTable};
+use bb_bgp::{try_compute_routes, Announcement, AnnouncementError, Offer, RoutingTable};
 use bb_topology::{InterconnectId, Topology};
 
 pub mod orchestrator;
@@ -261,11 +262,17 @@ pub(crate) fn run_attempt<R>(
 // Route-table cache
 // ---------------------------------------------------------------------------
 
-/// Content key for one `compute_routes` call: topology identity plus the
+/// Content key for one `compute_routes` call: topology content plus the
 /// announcement's full configuration.
+///
+/// The topology contributes its [`Topology::fingerprint`] (a fold of the
+/// construction sequence), not its process-unique `uid`: two loads of the
+/// same CAIDA snapshot — or the same generator config — produce the same
+/// key and share cached tables, while any mutation changes the
+/// fingerprint and keys a fresh entry.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct AnnouncementKey {
-    topo_uid: u64,
+    topo_content: u64,
     origin: bb_topology::AsId,
     offers: Vec<(InterconnectId, Offer)>,
 }
@@ -273,7 +280,7 @@ struct AnnouncementKey {
 impl AnnouncementKey {
     fn new(topo: &Topology, ann: &Announcement) -> Self {
         AnnouncementKey {
-            topo_uid: topo.uid(),
+            topo_content: topo.fingerprint(),
             origin: ann.origin,
             // offers_detailed iterates the BTreeMap, so the Vec is canonical.
             offers: ann.offers_detailed().collect(),
@@ -299,21 +306,46 @@ fn route_cache() -> &'static RouteCache {
 /// Memoized [`bb_bgp::compute_routes`].
 ///
 /// Returns a shared routing table for `(topo, ann)`, computing it on first
-/// use. Correctness rests on two invariants: `Topology::uid` changes on
-/// every topology mutation, and `compute_routes` is a pure function of
-/// `(topology, announcement)`. Concurrent misses on the same key may both
-/// compute; one result wins the insert and both callers get equal tables.
+/// use. Correctness rests on two invariants: `Topology::fingerprint`
+/// changes on every topology mutation, and `compute_routes` is a pure
+/// function of `(topology, announcement)`. Concurrent misses on the same
+/// key may both compute; one result wins the insert and both callers get
+/// equal tables.
+///
+/// Panics on an announcement that does not belong to `topo`; runtime
+/// paths that can see foreign announcements (loaded snapshots) use
+/// [`try_cached_routes`].
 pub fn cached_routes(topo: &Topology, ann: &Announcement) -> Arc<RoutingTable> {
+    try_cached_routes(topo, ann).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`cached_routes`], surfacing a mismatched announcement as an error the
+/// caller maps to a usage failure instead of panicking a worker.
+///
+/// Each cache miss also publishes the table's RIB-memory and propagation
+/// work under the `rib:*` timing counters, which `--timing-json` rolls up
+/// into the perf report's `rib` section.
+pub fn try_cached_routes(
+    topo: &Topology,
+    ann: &Announcement,
+) -> Result<Arc<RoutingTable>, AnnouncementError> {
     let cache = route_cache();
     let key = AnnouncementKey::new(topo, ann);
     if let Some(table) = cache.tables.read().get(&key) {
         cache.hits.fetch_add(1, Ordering::Relaxed);
-        return Arc::clone(table);
+        return Ok(Arc::clone(table));
     }
     cache.misses.fetch_add(1, Ordering::Relaxed);
-    let table = Arc::new(compute_routes(topo, ann));
+    let table = Arc::new(try_compute_routes(topo, ann)?);
+    let (considered, installed) = table.work();
+    timing::add_count("rib:tables", 1);
+    timing::add_count("rib:interned_bytes", table.interned_path_bytes());
+    timing::add_count("rib:naive_bytes", table.naive_path_bytes());
+    timing::add_count("rib:entry_pool_bytes", table.entry_pool_bytes());
+    timing::add_count("rib:candidates_considered", considered as usize);
+    timing::add_count("rib:candidates_installed", installed as usize);
     let mut w = cache.tables.write();
-    Arc::clone(w.entry(key).or_insert(table))
+    Ok(Arc::clone(w.entry(key).or_insert(table)))
 }
 
 /// Drop every cached table (e.g. between unrelated experiment suites, or
@@ -659,7 +691,7 @@ mod tests {
 
         let (h0, m0, _) = cache_stats();
         let cached = cached_routes(&topo, &ann);
-        let fresh = compute_routes(&topo, &ann);
+        let fresh = bb_bgp::compute_routes(&topo, &ann);
         assert_eq!(
             format!("{cached:?}"),
             format!("{fresh:?}"),
@@ -681,6 +713,55 @@ mod tests {
         let _ = cached_routes(&mutated, &ann);
         let (_, m3, _) = cache_stats();
         assert_eq!(m3 - m2, 1, "mutated topology misses");
+    }
+
+    #[test]
+    fn cache_shared_across_identical_constructions() {
+        // Two separate loads of the same world (what a CAIDA snapshot
+        // re-read looks like) have different uids but the same content
+        // fingerprint, so the second propagation is a cache hit.
+        let cfg = bb_topology::TopologyConfig::small(19);
+        let t1 = bb_topology::generate(&cfg);
+        let t2 = bb_topology::generate(&cfg);
+        assert_ne!(t1.uid(), t2.uid());
+        assert_eq!(t1.fingerprint(), t2.fingerprint());
+        let ann = Announcement::full(&t1, t1.ases()[0].id);
+        let a = cached_routes(&t1, &ann);
+        let (h0, _, _) = cache_stats();
+        let b = cached_routes(&t2, &ann);
+        let (h1, _, _) = cache_stats();
+        assert!(Arc::ptr_eq(&a, &b), "identical content shares the table");
+        assert_eq!(h1 - h0, 1);
+    }
+
+    #[test]
+    fn try_cached_routes_rejects_foreign_announcement() {
+        let topo = bb_topology::generate(&bb_topology::TopologyConfig::small(23));
+        let ghost = bb_topology::AsId(topo.as_count() as u32);
+        let err = try_cached_routes(&topo, &Announcement::empty(ghost)).unwrap_err();
+        assert!(err.to_string().contains("not in this topology"), "{err}");
+    }
+
+    #[test]
+    fn miss_publishes_rib_counters() {
+        let topo = bb_topology::generate(&bb_topology::TopologyConfig::small(29));
+        let ann = Announcement::full(&topo, topo.ases()[1].id);
+        let before: u64 = timing::counters()
+            .into_iter()
+            .find(|(l, _)| l == "rib:interned_bytes")
+            .map(|(_, n)| n)
+            .unwrap_or(0);
+        let table = cached_routes(&topo, &ann);
+        let after: u64 = timing::counters()
+            .into_iter()
+            .find(|(l, _)| l == "rib:interned_bytes")
+            .map(|(_, n)| n)
+            .unwrap_or(0);
+        assert_eq!(after - before, table.interned_path_bytes() as u64);
+        assert!(
+            table.interned_path_bytes() * 4 <= table.naive_path_bytes(),
+            "interned storage must stay ≤ 25% of the naive layout"
+        );
     }
 
     #[test]

@@ -25,6 +25,8 @@ pub struct Topology {
     /// Business relationship per unordered AS pair, stored from the
     /// lower-id side's perspective.
     rels: HashMap<(AsId, AsId), BusinessRel>,
+    /// FNV-1a fold of every mutation applied so far (see [`Topology::fingerprint`]).
+    content_hash: u64,
 }
 
 impl Topology {
@@ -36,6 +38,7 @@ impl Topology {
             links: Vec::new(),
             adj: Vec::new(),
             rels: HashMap::new(),
+            content_hash: FNV_OFFSET,
         }
     }
 
@@ -45,6 +48,36 @@ impl Topology {
     /// keeps the uid until it diverges).
     pub fn uid(&self) -> u64 {
         self.uid
+    }
+
+    /// Content fingerprint: an FNV-1a hash folded incrementally over every
+    /// mutation (AS and interconnect attributes, fidelity overrides,
+    /// footprint extensions), with floats contributing their IEEE-754 bits.
+    ///
+    /// Unlike [`Topology::uid`], two topologies built by the same
+    /// construction sequence — e.g. the same CAIDA snapshot loaded twice,
+    /// in this process or another — share a fingerprint, which is what
+    /// lets the route cache serve loaded snapshots across rebuilds. The
+    /// fingerprint is construction-order sensitive by design: it hashes
+    /// the mutation log, not a canonicalized graph.
+    pub fn fingerprint(&self) -> u64 {
+        self.content_hash
+    }
+
+    fn fold_word(&mut self, w: u64) {
+        let mut h = self.content_hash;
+        for b in w.to_le_bytes() {
+            h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+        }
+        self.content_hash = h;
+    }
+
+    fn fold_bytes(&mut self, bytes: &[u8]) {
+        let mut h = self.content_hash;
+        for &b in bytes {
+            h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+        }
+        self.content_hash = h;
     }
 
     /// Add an AS; its `id` field is assigned here.
@@ -62,6 +95,18 @@ impl Topology {
         assert!(!footprint.is_empty(), "AS footprint must be non-empty");
         assert!(intra_inflation >= 1.0);
         self.uid = next_uid();
+        let name = name.into();
+        self.fold_word(0xA5); // mutation tag: add_as
+        self.fold_word(class as u64);
+        self.fold_bytes(name.as_bytes());
+        self.fold_word(footprint.len() as u64);
+        for &c in &footprint {
+            self.fold_word(c.0 as u64);
+        }
+        self.fold_word(exit_policy as u64);
+        self.fold_word(intra_inflation.to_bits());
+        self.fold_word(home_country.map_or(u64::MAX, |c| c as u64));
+        self.fold_word(user_share.to_bits());
         let id = AsId(self.ases.len() as u32);
         // Default exit fidelity by class; see `AsNode::exit_fidelity`.
         let exit_fidelity = match class {
@@ -102,6 +147,13 @@ impl Topology {
     ) -> InterconnectId {
         assert_ne!(a, b, "no self-links");
         self.uid = next_uid();
+        self.fold_word(0xB7); // mutation tag: add_interconnect
+        self.fold_word(a.0 as u64);
+        self.fold_word(b.0 as u64);
+        self.fold_word(rel as u64);
+        self.fold_word(kind as u64);
+        self.fold_word(city.0 as u64);
+        self.fold_word(capacity_gbps.to_bits());
         assert!(
             self.ases[a.index()].present_in(city),
             "{} not present in {city}",
@@ -143,6 +195,9 @@ impl Topology {
     pub fn set_exit_fidelity(&mut self, asn: AsId, fidelity: f64) {
         assert!((0.0..=1.0).contains(&fidelity));
         self.uid = next_uid();
+        self.fold_word(0xC1); // mutation tag: set_exit_fidelity
+        self.fold_word(asn.0 as u64);
+        self.fold_word(fidelity.to_bits());
         self.ases[asn.index()].exit_fidelity = fidelity;
     }
 
@@ -154,6 +209,9 @@ impl Topology {
             fp.push(city);
             fp.sort();
             self.uid = next_uid();
+            self.fold_word(0xD3); // mutation tag: extend_footprint
+            self.fold_word(asn.0 as u64);
+            self.fold_word(city.0 as u64);
         }
     }
 
@@ -248,6 +306,9 @@ impl Topology {
     }
 }
 
+const FNV_OFFSET: u64 = 0x_cbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
 fn next_uid() -> u64 {
     use std::sync::atomic::{AtomicU64, Ordering};
     static NEXT_UID: AtomicU64 = AtomicU64::new(1);
@@ -340,6 +401,25 @@ mod tests {
         let a = t.add_as(AsClass::Tier1, "a", vec![c0], ExitPolicy::LateExit, 1.1, None, 0.0);
         let b = t.add_as(AsClass::Tier1, "b", vec![c0], ExitPolicy::LateExit, 1.1, None, 0.0);
         t.add_interconnect(a, b, BusinessRel::Peer, LinkKind::PublicPeering, c1, 1.0);
+    }
+
+    #[test]
+    fn fingerprint_tracks_content_not_identity() {
+        let a = tiny();
+        let b = tiny();
+        assert_ne!(a.uid(), b.uid(), "uids are process-unique");
+        assert_eq!(
+            a.fingerprint(),
+            b.fingerprint(),
+            "identical construction sequences share a fingerprint"
+        );
+        let mut c = a.clone();
+        assert_eq!(c.fingerprint(), a.fingerprint(), "clone keeps content");
+        c.set_exit_fidelity(AsId(0), 0.5);
+        assert_ne!(c.fingerprint(), a.fingerprint(), "mutation changes it");
+        let mut d = a.clone();
+        d.extend_footprint(AsId(1), d.atlas.cities[1].id);
+        assert_ne!(d.fingerprint(), a.fingerprint());
     }
 
     #[test]

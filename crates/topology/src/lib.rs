@@ -19,6 +19,7 @@
 //! in `bb-netsim`.
 
 pub mod asys;
+pub mod caida;
 pub mod generator;
 pub mod graph;
 pub mod ids;
@@ -26,6 +27,9 @@ pub mod link;
 pub mod validate;
 
 pub use asys::{AsClass, AsNode, ExitPolicy};
+pub use caida::{
+    build_from_snapshot, load_snapshot_file, parse_caida, CaidaError, CaidaGraph, SnapshotConfig,
+};
 pub use generator::{generate, TopologyConfig};
 pub use graph::Topology;
 pub use ids::{AsId, InterconnectId};

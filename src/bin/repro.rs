@@ -1,9 +1,12 @@
 //! `repro` — regenerate every figure and statistic of the paper.
 //!
 //! ```text
-//! repro [EXPERIMENT] [--scale test|full|large] [--seed N] [--jobs N] [--timing]
-//!       [--faults off|light|heavy] [--keep-going]
-//!       [--checkpoint DIR] [--resume DIR] [--shard I/N]
+//! repro [EXPERIMENT] [--scale test|full|large|planet] [--seed N] [--jobs N]
+//!       [--timing] [--faults off|light|heavy] [--keep-going]
+//!       [--snapshot PATH] [--checkpoint DIR] [--resume DIR] [--shard I/N]
+//! repro propagate [--scale ...] [--seed N] [--jobs N] [--snapshot PATH]
+//!       [--origins K] [--prefixes K] [--csv DIR] [--timing]
+//!       [--timing-json PATH]
 //! repro merge SHARD_DIR... [--csv DIR] [--report]
 //! repro orchestrate N [--dir DIR] [--scale ...] [--seed N] [--csv DIR]
 //!       [--chaos off|light|heavy] [--hang-timeout SECS] [--timing-json PATH]
@@ -16,6 +19,22 @@
 //!             calib | goodput | xpeer | xgroom | xsites | xonenet | xsplit |
 //!             audit
 //! ```
+//!
+//! `repro propagate` is the planet-tier propagation smoke: it builds the
+//! selected world (a generated preset, or a real AS-relationship snapshot
+//! via `--snapshot`), fully propagates routes from `--origins K` eyeball
+//! ASes sharded across `--jobs` workers, samples every table for
+//! valley-freeness (exit 1 on violation), reports the interned-path RIB
+//! memory against the naive per-AS `Vec<AsId>` encoding, and runs a
+//! bounded spray slice over the first `--prefixes K` client prefixes.
+//! Stdout and `--csv` exports are byte-identical for every `--jobs` value.
+//!
+//! `--snapshot PATH` (main campaign and `propagate`) replaces the
+//! generated topology with one built from a CAIDA-style AS-relationship
+//! snapshot (`<a>|<b>|-1` provider→customer, `<a>|<b>|0` peer links);
+//! provider, workload, and congestion layers are grown on top of it
+//! exactly as for a generated world. An unreadable or malformed snapshot
+//! is a usage error (exit 2).
 //!
 //! Exit codes: 0 = every selected experiment succeeded; 1 = a runtime
 //! failure (an experiment errored or panicked — with `--keep-going` the
@@ -145,6 +164,9 @@ struct Args {
     /// `(index, count)` from `--shard I/N`: run only slice I of the
     /// selected experiments, suppress stdout, checkpoint the units.
     shard: Option<(usize, usize)>,
+    /// Build every world from this CAIDA-style AS-relationship snapshot
+    /// instead of the generated topology.
+    snapshot: Option<String>,
 }
 
 /// Set by the SIGINT/SIGTERM handlers; the supervisor's cancel hook reads
@@ -186,6 +208,7 @@ fn parse_args() -> Args {
     let mut checkpoint: Option<std::path::PathBuf> = None;
     let mut resume: Option<std::path::PathBuf> = None;
     let mut shard: Option<(usize, usize)> = None;
+    let mut snapshot: Option<String> = None;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
@@ -196,8 +219,9 @@ fn parse_args() -> Args {
                     Some("test") => Scale::Test,
                     Some("full") => Scale::Full,
                     Some("large") => Scale::Large,
+                    Some("planet") => Scale::Planet,
                     other => {
-                        eprintln!("unknown scale {other:?}; use test|full|large");
+                        eprintln!("unknown scale {other:?}; use test|full|large|planet");
                         std::process::exit(2);
                     }
                 };
@@ -255,6 +279,13 @@ fn parse_args() -> Args {
                 }
                 csv_dir = Some(dir);
             }
+            "--snapshot" => {
+                i += 1;
+                snapshot = Some(argv.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--snapshot needs a file path");
+                    std::process::exit(2);
+                }));
+            }
             "--checkpoint" => {
                 i += 1;
                 checkpoint = Some(std::path::PathBuf::from(
@@ -295,10 +326,12 @@ fn parse_args() -> Args {
             }
             "--help" | "-h" => {
                 println!(
-                    "repro [EXPERIMENT] [--scale test|full|large] [--seed N] [--jobs N] \
+                    "repro [EXPERIMENT] [--scale test|full|large|planet] [--seed N] [--jobs N] \
                      [--timing] [--timing-json PATH] [--csv DIR] \
-                     [--faults off|light|heavy] [--keep-going] \
+                     [--faults off|light|heavy] [--keep-going] [--snapshot PATH] \
                      [--checkpoint DIR] [--resume DIR] [--shard I/N]\n\
+                     repro propagate [--scale S] [--seed N] [--jobs N] [--snapshot PATH] \
+                     [--origins K] [--prefixes K] [--csv DIR] [--timing] [--timing-json PATH]\n\
                      repro merge SHARD_DIR... [--csv DIR] [--report]\n\
                      repro orchestrate N [--dir DIR] [--chaos off|light|heavy] \
                      [--hang-timeout SECS]\n\
@@ -319,6 +352,9 @@ fn parse_args() -> Args {
                      {:11}to a build without the fault plane\n\
                      --keep-going  on experiment failure or panic, print a diagnostic\n\
                      {:11}and continue; survivors print normally, exit code 1\n\
+                     --snapshot PATH  build the worlds from a CAIDA-style AS-relationship\n\
+                     {:11}snapshot (a|b|-1 provider-customer, a|b|0 peer) instead of\n\
+                     {:11}the generated topology; bad snapshots are usage errors\n\
                      --checkpoint DIR  flush a resumable checkpoint manifest after each\n\
                      {:11}completed experiment; SIGINT/SIGTERM drain gracefully\n\
                      --resume DIR  replay completed experiments from DIR's checkpoint\n\
@@ -331,13 +367,18 @@ fn parse_args() -> Args {
                      {:11}--report prints a per-shard diagnosis on failure\n\
                      orchestrate N  spawn N supervised shard processes, restart\n\
                      {:11}crashed/hung ones from their checkpoints, auto-merge\n\
+                     propagate  planet-tier propagation smoke: shard full route\n\
+                     {:11}propagation from --origins K eyeballs across --jobs workers,\n\
+                     {:11}check valley-freeness, report interned vs naive RIB bytes,\n\
+                     {:11}spray the first --prefixes K client prefixes\n\
                      serve      streaming daemon: advance the spray campaign in\n\
                      {:11}epochs, snapshot state atomically every epoch, resume\n\
                      {:11}after SIGKILL byte-identically; --epsilon E > 0 uses\n\
                      {:11}bounded-memory sketches, --mem-limit arms the governor\n\
                      exit codes: 0 ok, 1 runtime failure, 2 usage error, \
                      130 interrupted (resumable)",
-                    "", "", "", "", "", "", "", "", "", "", "", "", "", "", "", "", ""
+                    "", "", "", "", "", "", "", "", "", "", "", "", "", "", "", "", "",
+                    "", "", "", "", ""
                 );
                 std::process::exit(0);
             }
@@ -382,6 +423,7 @@ fn parse_args() -> Args {
         checkpoint,
         resume,
         shard,
+        snapshot,
     }
 }
 
@@ -390,6 +432,24 @@ fn scale_label(scale: Scale) -> &'static str {
         Scale::Test => "test",
         Scale::Full => "full",
         Scale::Large => "large",
+        Scale::Planet => "planet",
+    }
+}
+
+/// Build a scenario, mapping usage-class failures (an unreadable or
+/// malformed `--snapshot` file) to exit 2 per the CLI contract and any
+/// other build failure to exit 1.
+fn build_world_or_exit(cfg: ScenarioConfig) -> Scenario {
+    match Scenario::try_build(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            let code = match e {
+                beating_bgp::core::BbError::Usage { .. } => 2,
+                _ => 1,
+            };
+            std::process::exit(code);
+        }
     }
 }
 
@@ -459,6 +519,7 @@ fn perf_report(
         },
         orchestration: None,
         serve: None,
+        rib: None,
         congestion_races_closed: beating_bgp::netsim::materialize_races_closed() as u64,
     }
     .finalize()
@@ -476,6 +537,15 @@ fn spray_cfg(scale: Scale) -> SprayConfig {
         // more sparsely over the same ten days.
         Scale::Large => SprayConfig {
             window_stride: 8,
+            ..Default::default()
+        },
+        // The planet world is ~10x Large in ASes; spray a single day with
+        // a coarse stride so the campaign stays CI-sized while every
+        // window still exercises the full interned-RIB path.
+        Scale::Planet => SprayConfig {
+            days: 1.0,
+            window_stride: 16,
+            sessions_per_window: 5,
             ..Default::default()
         },
     }
@@ -742,8 +812,8 @@ fn run_orchestrate() -> ! {
             "--dir" => base = Some(std::path::PathBuf::from(need(&mut i, "--dir"))),
             "--scale" => {
                 scale = need(&mut i, "--scale");
-                if !matches!(scale.as_str(), "test" | "full" | "large") {
-                    eprintln!("unknown scale {scale:?}; use test|full|large");
+                if !matches!(scale.as_str(), "test" | "full" | "large" | "planet") {
+                    eprintln!("unknown scale {scale:?}; use test|full|large|planet");
                     std::process::exit(2);
                 }
             }
@@ -1075,6 +1145,7 @@ fn run_orchestrate() -> ! {
             },
             orchestration: Some(stats),
             serve: None,
+            rib: None,
             congestion_races_closed: 0,
         }
         .finalize();
@@ -1196,7 +1267,8 @@ fn run_serve() -> ! {
                     Some("test") => Scale::Test,
                     Some("full") => Scale::Full,
                     Some("large") => Scale::Large,
-                    other => usage(&format!("unknown scale {other:?}; use test|full|large")),
+                    Some("planet") => Scale::Planet,
+                    other => usage(&format!("unknown scale {other:?}; use test|full|large|planet")),
                 };
             }
             "--seed" => {
@@ -1627,6 +1699,7 @@ fn run_serve() -> ! {
                 deadline_misses,
                 resumed,
             }),
+            rib: None,
             congestion_races_closed: beating_bgp::netsim::materialize_races_closed() as u64,
         }
         .finalize();
@@ -1638,12 +1711,322 @@ fn run_serve() -> ! {
     std::process::exit(0);
 }
 
+/// `repro propagate`: the planet-tier propagation smoke. Builds the
+/// selected world (generated preset or `--snapshot` AS-relationship file),
+/// fully propagates routes from `--origins K` eyeball ASes sharded across
+/// `--jobs` workers, samples every table for valley-freeness, reports the
+/// interned-path RIB memory against the naive per-AS `Vec<AsId>` encoding,
+/// and runs a bounded spray slice over the first `--prefixes K` client
+/// prefixes. Output is assembled in origin order from per-worker results,
+/// so stdout and `--csv` exports are byte-identical for every `--jobs`
+/// value. Exit 0 = propagation complete and valley-free, 1 = a sampled
+/// path violated valley-freeness or an AS was unreachable, 2 = usage.
+fn run_propagate() -> ! {
+    use beating_bgp::bgp::{valley_free, Announcement};
+    use beating_bgp::topology::{AsClass, AsId};
+
+    let argv: Vec<String> = std::env::args().skip(2).collect();
+    let mut scale = Scale::Full;
+    let mut seed = 42u64;
+    let mut jobs = 0usize;
+    let mut snapshot: Option<String> = None;
+    let mut origins = 16usize;
+    let mut prefixes = 64usize;
+    let mut csv_dir: Option<std::path::PathBuf> = None;
+    let mut timing_flag = false;
+    let mut timing_json: Option<std::path::PathBuf> = None;
+    let usage = |msg: &str| -> ! {
+        eprintln!("repro propagate: {msg}");
+        std::process::exit(2);
+    };
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = match argv.get(i).map(String::as_str) {
+                    Some("test") => Scale::Test,
+                    Some("full") => Scale::Full,
+                    Some("large") => Scale::Large,
+                    Some("planet") => Scale::Planet,
+                    other => usage(&format!("unknown scale {other:?}; use test|full|large|planet")),
+                };
+            }
+            "--seed" => {
+                i += 1;
+                seed = argv
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--seed needs a number"));
+            }
+            "--jobs" => {
+                i += 1;
+                jobs = argv
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--jobs needs a number"));
+            }
+            "--snapshot" => {
+                i += 1;
+                snapshot = Some(
+                    argv.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| usage("--snapshot needs a file path")),
+                );
+            }
+            "--origins" => {
+                i += 1;
+                origins = argv
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage("--origins needs a count >= 1"));
+            }
+            "--prefixes" => {
+                i += 1;
+                prefixes = argv
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage("--prefixes needs a count >= 1"));
+            }
+            "--csv" => {
+                i += 1;
+                let dir = std::path::PathBuf::from(
+                    argv.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| usage("--csv needs a directory")),
+                );
+                if let Err(e) = std::fs::create_dir_all(&dir) {
+                    usage(&format!("--csv: cannot create {}: {e}", dir.display()));
+                }
+                csv_dir = Some(dir);
+            }
+            "--timing" => timing_flag = true,
+            "--timing-json" => {
+                i += 1;
+                timing_json = Some(std::path::PathBuf::from(
+                    argv.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| usage("--timing-json needs a file path")),
+                ));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "repro propagate [--scale test|full|large|planet] [--seed N] [--jobs N]\n\
+                     \u{20}               [--snapshot PATH] [--origins K] [--prefixes K]\n\
+                     \u{20}               [--csv DIR] [--timing] [--timing-json PATH]\n\
+                     propagate full routing tables from K eyeball origins, sharded\n\
+                     across --jobs workers; check sampled paths for valley-freeness;\n\
+                     report interned vs naive RIB bytes; spray the first K prefixes\n\
+                     exit codes: 0 ok, 1 propagation invariant violated, 2 usage error"
+                );
+                std::process::exit(0);
+            }
+            flag => usage(&format!("unknown argument {flag:?}")),
+        }
+        i += 1;
+    }
+
+    beating_bgp::exec::set_jobs(jobs);
+    let t0 = std::time::Instant::now();
+    let mut cfg = ScenarioConfig::facebook(seed, scale);
+    cfg.snapshot = snapshot;
+    eprintln!("[repro] building propagation world…");
+    let scenario = timing::time("world:propagate", || build_world_or_exit(cfg));
+    let topo = &scenario.topo;
+
+    println!("=== PROPAGATE (scale {}, seed {seed}) ===", scale_label(scale));
+    println!(
+        "world: {} ases, {} links, fingerprint {:016x}",
+        topo.as_count(),
+        topo.link_count(),
+        topo.fingerprint()
+    );
+
+    // Deterministic origin choice: eyeballs in id order, spread evenly.
+    let eyeballs: Vec<AsId> = topo.ases_of_class(AsClass::Eyeball).map(|n| n.id).collect();
+    if eyeballs.is_empty() {
+        eprintln!("repro propagate: world has no eyeball ases to originate from");
+        std::process::exit(1);
+    }
+    let k = origins.min(eyeballs.len());
+    let picks: Vec<AsId> = (0..k).map(|i| eyeballs[i * eyeballs.len() / k]).collect();
+    println!("origins: {k} of {} eyeball ases", eyeballs.len());
+
+    // One full propagation per origin, sharded across the worker pool.
+    // `par_map` keys nothing on thread schedule and returns in item order,
+    // and each table is a pure function of `(topology, announcement)`, so
+    // the report below is byte-identical for every `--jobs` value.
+    let stride = (topo.as_count() / 4096).max(1);
+    let reports = timing::time("propagate:routes", || {
+        beating_bgp::exec::par_map(&picks, |_, &asn| {
+            let ann = Announcement::full(topo, asn);
+            let table = beating_bgp::exec::cached_routes(topo, &ann);
+            let mut sampled = 0usize;
+            let mut violations = 0usize;
+            for node in topo.ases().iter().step_by(stride) {
+                match table.as_path(node.id) {
+                    Some(path) => {
+                        sampled += 1;
+                        if !valley_free(topo, &path) {
+                            violations += 1;
+                        }
+                    }
+                    None => violations += 1,
+                }
+            }
+            (
+                table.reachable_count(),
+                table.interned_path_bytes(),
+                table.naive_path_bytes(),
+                table.entry_pool_bytes(),
+                sampled,
+                violations,
+            )
+        })
+    });
+
+    let mut csv = String::from("origin,reachable,interned_bytes,naive_bytes,entry_pool_bytes\n");
+    let (mut interned, mut naive, mut pool) = (0usize, 0usize, 0usize);
+    let (mut sampled, mut violations, mut unreachable) = (0usize, 0usize, 0usize);
+    for (&asn, &(reach, i_bytes, n_bytes, p_bytes, smp, bad)) in picks.iter().zip(&reports) {
+        let name = &topo.asys(asn).name;
+        println!(
+            "origin {name}: reachable {reach}/{}, interned {i_bytes} B, naive {n_bytes} B",
+            topo.as_count()
+        );
+        writeln!(csv, "{name},{reach},{i_bytes},{n_bytes},{p_bytes}").unwrap();
+        interned += i_bytes;
+        naive += n_bytes;
+        pool += p_bytes;
+        sampled += smp;
+        violations += bad;
+        unreachable += topo.as_count() - reach;
+    }
+    println!(
+        "rib totals: {k} tables, interned {interned} B, naive {naive} B ({:.1}% of naive), \
+         entry pool {pool} B",
+        100.0 * interned as f64 / naive as f64
+    );
+    println!("valley-free: {sampled} sampled paths, {violations} violations, {unreachable} unreachable");
+
+    // Bounded spray slice: truncating to the *first* K prefixes keeps
+    // PrefixId indexing consistent (ids are dense positions in the list).
+    let mut workload = scenario.workload.clone();
+    let p = prefixes.min(workload.prefixes.len());
+    workload.prefixes.truncate(p);
+    workload.prefix_ldns.truncate(p);
+    let dataset = timing::time("propagate:spray", || {
+        beating_bgp::measure::spray(
+            topo,
+            &scenario.provider,
+            &workload,
+            &scenario.congestion,
+            None,
+            &spray_cfg(scale),
+        )
+    });
+    let route_samples: u64 = dataset
+        .rows
+        .iter()
+        .map(|r| r.route_samples.iter().map(|&s| u64::from(s)).sum::<u64>())
+        .sum();
+    println!(
+        "spray slice: {p} prefixes -> {} targets, {} window rows, {route_samples} route samples",
+        dataset.targets.len(),
+        dataset.rows.len()
+    );
+    let failed = violations > 0 || unreachable > 0;
+    println!(
+        "=== PROPAGATE {} ===",
+        if failed { "FAILED" } else { "OK" }
+    );
+
+    if let Some(dir) = &csv_dir {
+        if let Err(e) =
+            beating_bgp::core::export::write_atomic_bytes(&dir.join("propagate.csv"), csv.as_bytes())
+        {
+            eprintln!("--csv: {e}");
+            std::process::exit(1);
+        }
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+    if timing_flag {
+        eprint!("{}", timing::report());
+    }
+    if let Some(path) = &timing_json {
+        use beating_bgp::bench as bench;
+        let perf = bench::PerfReport {
+            experiment: "propagate".to_string(),
+            scale: scale_label(scale).to_string(),
+            seed,
+            jobs: beating_bgp::exec::jobs(),
+            wall_s,
+            phases: timing::snapshot()
+                .into_iter()
+                .map(|(label, total_s, calls)| bench::PhaseTiming {
+                    label,
+                    total_s,
+                    calls,
+                })
+                .collect(),
+            counters: timing::counters()
+                .into_iter()
+                .map(|(label, count)| bench::CounterSample { label, count })
+                .collect(),
+            total_samples: 0,
+            samples_per_sec: 0.0,
+            plan_compile_s: 0.0,
+            plan_query_s: 0.0,
+            route_cache: {
+                let (hits, misses, resident) = beating_bgp::exec::cache_stats();
+                bench::RouteCacheStats {
+                    hits: hits as u64,
+                    misses: misses as u64,
+                    resident: resident as u64,
+                }
+            },
+            route_cache_by_experiment: Vec::new(),
+            faults: bench::FaultStats {
+                samples_lost: 0,
+                timeouts: 0,
+                retries: 0,
+                windows_dropped: 0,
+                panics_isolated: 0,
+            },
+            supervision: bench::SupervisionStats {
+                attempts: 0,
+                retries: 0,
+                panics_absorbed: 0,
+                recovered: 0,
+                failed: 0,
+                skipped: 0,
+                budget_exhausted: false,
+            },
+            orchestration: None,
+            serve: None,
+            rib: None,
+            congestion_races_closed: beating_bgp::netsim::materialize_races_closed() as u64,
+        }
+        .finalize();
+        if let Err(e) = std::fs::write(path, perf.to_json()) {
+            eprintln!("--timing-json: cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+    std::process::exit(if failed { 1 } else { 0 });
+}
+
 fn main() {
     // Fail fast on a malformed injection hook: a typo'd BB_REPRO_ENOSPC
     // must be a usage error even when the chosen command never writes.
     beating_bgp::core::export::validate_injection_env();
     if std::env::args().nth(1).as_deref() == Some("merge") {
         run_merge();
+    }
+    if std::env::args().nth(1).as_deref() == Some("propagate") {
+        run_propagate();
     }
     if std::env::args().nth(1).as_deref() == Some("orchestrate") {
         run_orchestrate();
@@ -1661,6 +2044,7 @@ fn main() {
     // `with_faults`.
     let with_faults = |mut cfg: ScenarioConfig| {
         cfg.faults = args.faults.config();
+        cfg.snapshot = args.snapshot.clone();
         cfg
     };
 
@@ -1673,7 +2057,7 @@ fn main() {
         fb_cell.get_or_init(|| {
             eprintln!("[repro] building Facebook-like world…");
             timing::time("world:facebook", || {
-                Scenario::build(with_faults(ScenarioConfig::facebook(args.seed, args.scale)))
+                build_world_or_exit(with_faults(ScenarioConfig::facebook(args.seed, args.scale)))
             })
         })
     };
@@ -1682,7 +2066,7 @@ fn main() {
         ms_cell.get_or_init(|| {
             eprintln!("[repro] building Microsoft-like world…");
             timing::time("world:microsoft", || {
-                Scenario::build(with_faults(ScenarioConfig::microsoft(args.seed, args.scale)))
+                build_world_or_exit(with_faults(ScenarioConfig::microsoft(args.seed, args.scale)))
             })
         })
     };
@@ -1691,7 +2075,7 @@ fn main() {
         gg_cell.get_or_init(|| {
             eprintln!("[repro] building Google-like world…");
             timing::time("world:google", || {
-                Scenario::build(with_faults(ScenarioConfig::google(args.seed, args.scale)))
+                build_world_or_exit(with_faults(ScenarioConfig::google(args.seed, args.scale)))
             })
         })
     };
@@ -2029,7 +2413,7 @@ fn main() {
                         cfg.congestion.event_duration_mean_min = 90.0;
                         cfg.congestion.event_severity = (0.35, 0.7);
                     }
-                    let scenario = Scenario::build(cfg);
+                    let scenario = Scenario::try_build(cfg)?;
                     let study = study_egress::run(&scenario, &spray_cfg(args.scale))?;
                     writeln!(
                         out,
@@ -2047,7 +2431,7 @@ fn main() {
                 for (label, factor) in [("sloppy (default)", 0.72_f64), ("perfect geo", 1.0)] {
                     let mut cfg = with_faults(ScenarioConfig::microsoft(args.seed, args.scale));
                     cfg.exit_fidelity_factor = factor;
-                    let scenario = Scenario::build(cfg);
+                    let scenario = Scenario::try_build(cfg)?;
                     let study = study_anycast::run(
                         &scenario,
                         &BeaconConfig {

@@ -1,6 +1,6 @@
 //! `repro audit` end-to-end: the invariant rules pass on a clean build,
 //! every seeded violation flips the exit code, and the report names the
-//! rule that fired. The full 13-rule violation sweep runs in CI against
+//! rule that fired. The full 14-rule violation sweep runs in CI against
 //! the release binary; here two representative hooks (one invariant rule,
 //! one metamorphic relation) keep the debug-build cost bounded.
 
@@ -22,7 +22,7 @@ fn clean_audit_passes_all_rules() {
     let stdout = String::from_utf8(out.stdout).unwrap();
     assert_eq!(out.status.code(), Some(0), "audit failed:\n{stdout}");
     assert!(
-        stdout.contains("=== AUDIT PASSED: 13/13 rules"),
+        stdout.contains("=== AUDIT PASSED: 14/14 rules"),
         "missing pass footer:\n{stdout}"
     );
     // Every rule in the catalog is present and reported ok.

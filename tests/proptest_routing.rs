@@ -1,12 +1,56 @@
 //! Property-based tests of the routing core on randomized topologies.
 
-use beating_bgp::bgp::{compute_routes, provider_rib, Announcement};
 use beating_bgp::bgp::propagation::valley_free;
-use beating_bgp::topology::{generate, AsClass, TopologyConfig, Topology};
+use beating_bgp::bgp::{
+    compute_routes, compute_routes_reference, provider_rib, Announcement, RoutingTable, Scope,
+};
+use beating_bgp::topology::{generate, AsClass, Topology, TopologyConfig};
 use proptest::prelude::*;
 
 fn world(seed: u64) -> Topology {
     generate(&TopologyConfig::small(seed))
+}
+
+/// Assert the frontier-worklist table equals the legacy whole-table-sweep
+/// oracle on every observable: route class, path length, via, NO_EXPORT
+/// marking, entry links, and the materialized AS path.
+fn assert_tables_equal(
+    topo: &Topology,
+    frontier: &RoutingTable,
+    reference: &RoutingTable,
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(frontier.reachable_count(), reference.reachable_count());
+    for node in topo.ases() {
+        let f = frontier.route(node.id);
+        let r = reference.route(node.id);
+        match (f, r) {
+            (None, None) => {}
+            (Some(f), Some(r)) => {
+                prop_assert_eq!(f.class, r.class, "class diverged at {:?}", node.id);
+                prop_assert_eq!(f.path_len, r.path_len, "path_len diverged at {:?}", node.id);
+                prop_assert_eq!(f.via, r.via, "via diverged at {:?}", node.id);
+                prop_assert_eq!(
+                    f.no_export, r.no_export,
+                    "no_export diverged at {:?}",
+                    node.id
+                );
+                prop_assert_eq!(
+                    frontier.entry_links(node.id),
+                    reference.entry_links(node.id),
+                    "entry links diverged at {:?}",
+                    node.id
+                );
+                prop_assert_eq!(
+                    frontier.as_path(node.id),
+                    reference.as_path(node.id),
+                    "as_path diverged at {:?}",
+                    node.id
+                );
+            }
+            (f, r) => prop_assert!(false, "reachability diverged at {:?}: {f:?} vs {r:?}", node.id),
+        }
+    }
+    Ok(())
 }
 
 proptest! {
@@ -92,6 +136,52 @@ proptest! {
                 prop_assert_eq!(r.path_len, 1 + prepend);
             }
         }
+    }
+
+    /// Differential oracle: the frontier/delta worklist propagation must
+    /// equal the legacy whole-table sweep on a plain full announcement.
+    #[test]
+    fn frontier_equals_reference_full(seed in 0u64..5000, origin_pick in 0usize..40) {
+        let topo = world(seed);
+        let eyeballs: Vec<_> = topo.ases_of_class(AsClass::Eyeball).collect();
+        let origin = eyeballs[origin_pick % eyeballs.len()].id;
+        let ann = Announcement::full(&topo, origin);
+        let frontier = compute_routes(&topo, &ann);
+        let reference = compute_routes_reference(&topo, &ann);
+        assert_tables_equal(&topo, &frontier, &reference)?;
+    }
+
+    /// Differential oracle under traffic engineering: a randomized mix of
+    /// withheld, prepended, and NO_EXPORT-scoped offers must still produce
+    /// identical tables from both propagation strategies.
+    #[test]
+    fn frontier_equals_reference_engineered(
+        seed in 0u64..5000,
+        knobs in 0u64..u64::MAX,
+        prepend in 1u32..5,
+    ) {
+        let topo = world(seed);
+        let origin = topo.ases_of_class(AsClass::Eyeball).next().unwrap().id;
+        let mut ann = Announcement::empty(origin);
+        for (i, &(_, link)) in topo.adjacency(origin).iter().enumerate() {
+            // Two knob bits per link: withhold / plain / prepend / NO_EXPORT.
+            match (knobs >> ((2 * i) % 64)) & 0b11 {
+                0b00 => {}
+                0b01 => { ann.offer(link, 0); }
+                0b10 => { ann.offer(link, prepend); }
+                _ => { ann.offer_scoped(link, 0, Scope::NoExport); }
+            }
+        }
+        if ann.is_empty() {
+            // Everything withheld: both strategies must agree it's empty.
+            let frontier = compute_routes(&topo, &Announcement::full(&topo, origin));
+            let reference = compute_routes_reference(&topo, &Announcement::full(&topo, origin));
+            assert_tables_equal(&topo, &frontier, &reference)?;
+            return Ok(());
+        }
+        let frontier = compute_routes(&topo, &ann);
+        let reference = compute_routes_reference(&topo, &ann);
+        assert_tables_equal(&topo, &frontier, &reference)?;
     }
 
     /// The provider RIB is policy-sorted and only contains export-legal
